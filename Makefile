@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./sweep ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	for e in quickstart conference multimedia recovery multiring allocation; do \
+		echo "== $$e"; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+experiments:
+	$(GO) run ./cmd/wrtexperiments > EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

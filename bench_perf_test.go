@@ -1,0 +1,74 @@
+// Simulator performance benchmarks: how many virtual slots per second the
+// full stack (kernel + radio + MAC) sustains. These are engineering
+// benchmarks, not paper claims; they justify the scale of the experiment
+// harness (tens of sweeps × 100k-slot runs in seconds).
+package wrtring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSimulationThroughput measures wall time per simulated slot for
+// an idle ring and a saturated one, across sizes.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	for _, n := range []int{8, 32, 100} {
+		for _, load := range []string{"idle", "saturated"} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, load), func(b *testing.B) {
+				const slots = 5000
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := Scenario{N: n, L: 2, K: 2, Seed: 9, Duration: slots}
+					if load == "saturated" {
+						s.Sources = []Source{{Station: AllStations, Class: Premium,
+							Dest: Opposite(), Preload: slots}}
+					}
+					net, err := Build(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					net.Run()
+				}
+				b.ReportMetric(float64(slots*b.N)/b.Elapsed().Seconds(), "slots/sec")
+			})
+		}
+	}
+}
+
+// TestLargeRingStress runs a 100-station ring for 200k slots with churn —
+// the scale headroom check (skipped with -short).
+func TestLargeRingStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	net, err := Build(Scenario{
+		N: 100, L: 1, K: 1, Seed: 10, Duration: 200_000,
+		RangeChords: 3.0,
+		Sources: []Source{{Station: AllStations, Kind: Poisson, Class: Premium,
+			Mean: 500, Dest: Uniform()}},
+		Churn: []ChurnOp{
+			{At: 50_000, Kind: Kill, Station: 30},
+			{At: 100_000, Kind: Kill, Station: 60},
+			{At: 150_000, Kind: Leave, Station: 90},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if res.Dead {
+		t.Fatal("100-station ring died")
+	}
+	if res.N != 97 {
+		t.Fatalf("final N = %d", res.N)
+	}
+	if res.MaxRotation >= res.RotationBound {
+		t.Fatalf("bound violated at scale: %d >= %d", res.MaxRotation, res.RotationBound)
+	}
+	if res.Splices != 3 {
+		t.Fatalf("splices = %d, want 3", res.Splices)
+	}
+	if res.Delivered[Premium] == 0 {
+		t.Fatal("no deliveries at scale")
+	}
+}

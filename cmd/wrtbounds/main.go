@@ -1,0 +1,63 @@
+// Command wrtbounds prints the paper's closed-form bounds (equations 1–7,
+// Theorems 1–3, Propositions 1–3 of §2.6 and §3.1.2) for parameter sweeps,
+// so the analytical comparison of §3.3 can be regenerated and inspected
+// without running a simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/rtnet/wrtring/internal/analysis"
+)
+
+func main() {
+	ns := flag.String("n", "3,5,10,20,50,100", "comma-separated station counts")
+	l := flag.Int("l", 2, "per-station real-time quota l")
+	k := flag.Int("k", 2, "per-station best-effort quota k")
+	trap := flag.Int64("trap", 16, "RAP length T_rap (slots)")
+	x := flag.Int("x", 8, "queued packets ahead for the Theorem-3 column")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*ns, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 2 {
+			fmt.Printf("skipping bad station count %q\n", f)
+			continue
+		}
+		counts = append(counts, v)
+	}
+
+	fmt.Printf("WRT-Ring vs TPT closed-form bounds (l=%d k=%d T_rap=%d, slot units)\n\n", *l, *k, *trap)
+	fmt.Printf("%4s | %9s %9s | %10s %10s | %10s %10s | %12s\n",
+		"N", "SAT rt", "token rt", "SAT_TIME", "2*TTRT", "E[SAT]", "TTRT", "Thm3(x="+strconv.Itoa(*x)+")")
+	fmt.Println(strings.Repeat("-", 96))
+	for _, n := range counts {
+		ring := analysis.Uniform(n, *l, *k, *trap)
+		tpt := analysis.TPTParams{N: n, TProc: 1, TProp: 0, TRap: *trap,
+			SumH: int64(n) * int64(*l+*k)}
+		tpt.TTRT = analysis.MinimalTTRT(tpt)
+
+		satRT := analysis.SatRoundTrip(n, 1, 0, *trap)
+		tokRT := analysis.TokenRoundTrip(tpt)
+		fmt.Printf("%4d | %9d %9d | %10d %10d | %10d %10d | %12d\n",
+			n, satRT, tokRT,
+			analysis.SatTimeBound(ring), analysis.TPTLossReaction(tpt),
+			analysis.MeanRotationBound(ring), tpt.TTRT,
+			analysis.AccessDelayBound(ring, *x, *l))
+	}
+
+	fmt.Println("\ncolumns: idle control-signal round trip (§3.3); loss-reaction bounds")
+	fmt.Println("SAT_TIME (Thm 1) vs 2*TTRT (§3.1.3); mean-rotation bounds (Prop 3 vs TTRT);")
+	fmt.Println("Theorem-3 access bound for a real-time packet behind x queued packets.")
+
+	fmt.Printf("\nTheorem 2 multi-rotation bounds for N=%d:\n  n rotations: ", counts[len(counts)-1])
+	ring := analysis.Uniform(counts[len(counts)-1], *l, *k, *trap)
+	for _, n := range []int64{1, 2, 4, 8, 16} {
+		fmt.Printf("%d->%d  ", n, analysis.MultiRotationBound(ring, n))
+	}
+	fmt.Println()
+}

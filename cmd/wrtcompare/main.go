@@ -1,0 +1,126 @@
+// Command wrtcompare regenerates the paper's §3 evaluation as measured
+// tables: the same station population and reserved bandwidth run under
+// WRT-Ring and TPT, and the program prints hop counts, rotation times,
+// capacity, and loss-reaction latencies side by side, each next to its
+// closed-form bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func main() {
+	ns := flag.String("n", "5,10,20,50", "comma-separated station counts")
+	l := flag.Int("l", 2, "real-time quota l")
+	k := flag.Int("k", 2, "best-effort quota k")
+	dur := flag.Int64("dur", 60_000, "slots per run")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*ns, ",") {
+		if v, err := strconv.Atoi(strings.TrimSpace(f)); err == nil && v >= 4 {
+			counts = append(counts, v)
+		}
+	}
+
+	fmt.Println("== E2/E3: control-signal round trip (idle network) ==")
+	fmt.Printf("%4s | %14s %14s | %14s %14s | %7s\n",
+		"N", "SAT hops/round", "token hops/rnd", "SAT rot (meas)", "tok rot (meas)", "ratio")
+	for _, n := range counts {
+		ring := must(wrtring.Run(wrtring.Scenario{N: n, L: *l, K: *k, Seed: *seed, Duration: *dur}))
+		tree := must(wrtring.Run(wrtring.Scenario{Protocol: wrtring.TPT, N: n, L: *l, K: *k, Seed: *seed, Duration: *dur}))
+		fmt.Printf("%4d | %14.1f %14.1f | %14.1f %14.1f | %7.2f\n",
+			n, ring.HopsPerRound, tree.HopsPerRound, ring.MeanRotation, tree.MeanRotation,
+			tree.MeanRotation/ring.MeanRotation)
+	}
+	fmt.Println("paper: token travels 2*(N-1) links per round, SAT only N (§3.2.1);")
+	fmt.Println("ratio -> 2 as N grows.")
+
+	fmt.Println("\n== E4: reaction to control-signal loss and station death ==")
+	fmt.Printf("%4s %-9s %-14s | %7s %7s %7s | %-8s\n",
+		"N", "protocol", "fault", "bound", "detect", "heal", "repair")
+	for _, n := range counts {
+		for _, proto := range []wrtring.Protocol{wrtring.WRTRing, wrtring.TPT} {
+			for _, fault := range []string{"signal-loss", "station-death"} {
+				net := must2(wrtring.Build(wrtring.Scenario{
+					Protocol: proto, N: n, L: *l, K: *k, Seed: *seed, Duration: *dur,
+					Sources: []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.CBR,
+						Class: wrtring.Premium, Period: 80, Dest: wrtring.Opposite()}},
+				}))
+				net.Start()
+				f := fault
+				net.Kernel.At(sim.Time(*dur/4), sim.PrioAdmin, func() {
+					switch {
+					case f == "signal-loss" && net.Ring != nil:
+						net.Ring.LoseSATOnce()
+					case f == "signal-loss":
+						net.Tree.LoseTokenOnce()
+					case net.Ring != nil:
+						net.Ring.KillStation(wrtring.StationID(n / 2))
+					default:
+						net.Tree.KillStation(wrtring.StationID(n / 2))
+					}
+				})
+				res := net.Run()
+				repair := "none"
+				switch {
+				case res.Reformations > 0:
+					repair = "rebuild"
+				case res.Splices > 0:
+					repair = "splice"
+				}
+				fmt.Printf("%4d %-9s %-14s | %7d %7.0f %7.0f | %-8s\n",
+					n, proto.String(), fault, res.RotationBound,
+					res.DetectLatency, res.HealLatency, repair)
+			}
+		}
+	}
+	fmt.Println("paper: SAT_TIME < D = 2*TTRT, and WRT-Ring splices around a dead station")
+	fmt.Println("while TPT must rebuild the whole tree (§3.3).")
+
+	fmt.Println("\n== E12: saturated capacity (concurrent access vs single talker) ==")
+	fmt.Printf("%4s | %12s %12s %7s | %12s %12s %7s\n",
+		"N", "ring opp", "tpt opp", "ratio", "ring nbr", "tpt nbr", "ratio")
+	for _, n := range counts {
+		rOpp := saturated(n, *l, *k, *seed, *dur, wrtring.WRTRing, wrtring.Opposite())
+		tOpp := saturated(n, *l, *k, *seed, *dur, wrtring.TPT, wrtring.Opposite())
+		rNbr := saturated(n, *l, *k, *seed, *dur, wrtring.WRTRing, wrtring.Offset(1))
+		tNbr := saturated(n, *l, *k, *seed, *dur, wrtring.TPT, wrtring.Offset(1))
+		fmt.Printf("%4d | %12.4f %12.4f %7.2f | %12.4f %12.4f %7.2f\n",
+			n, rOpp, tOpp, rOpp/tOpp, rNbr, tNbr, rNbr/tNbr)
+	}
+	fmt.Println("packets/slot under saturation; paper (§3.2, via [13]): concurrent access")
+	fmt.Println("yields higher capacity; spatial reuse grows the gap for local traffic.")
+}
+
+func saturated(n, l, k int, seed uint64, dur int64, proto wrtring.Protocol, dest wrtring.DestSpec) float64 {
+	res := must(wrtring.Run(wrtring.Scenario{
+		Protocol: proto, N: n, L: l, K: k, Seed: seed, Duration: dur,
+		Sources: []wrtring.Source{
+			{Station: wrtring.AllStations, Class: wrtring.Premium, Dest: dest, Preload: int(dur)},
+			{Station: wrtring.AllStations, Class: wrtring.BestEffort, Dest: dest, Preload: int(dur)},
+		},
+	}))
+	return res.Throughput
+}
+
+func must(r *wrtring.Result, err error) *wrtring.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func must2(n *wrtring.Network, err error) *wrtring.Network {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

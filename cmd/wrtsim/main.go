@@ -1,0 +1,140 @@
+// Command wrtsim runs one configurable scenario and dumps its metrics —
+// the general-purpose entry point for exploring the protocol outside the
+// predefined experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+func main() {
+	var s wrtring.Scenario
+	config := flag.String("config", "", "JSON scenario file (overrides every other flag)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective scenario as JSON and exit")
+	proto := flag.String("proto", "wrt", "protocol: wrt | tpt")
+	flag.IntVar(&s.N, "n", 8, "number of stations")
+	flag.IntVar(&s.L, "l", 2, "real-time quota l per station")
+	flag.IntVar(&s.K, "k", 2, "best-effort quota k per station")
+	flag.Uint64Var(&s.Seed, "seed", 1, "RNG seed")
+	flag.Int64Var(&s.Duration, "dur", 50_000, "duration in slots")
+	flag.BoolVar(&s.EnableRAP, "rap", false, "enable the Random Access Period (join window)")
+	flag.Float64Var(&s.LossProb, "loss", 0, "per-frame radio loss probability")
+	flag.BoolVar(&s.DisableCDMA, "no-cdma", false, "ablation: one shared code for all stations")
+	flag.BoolVar(&s.DisableSplice, "no-splice", false, "ablation: always re-form instead of splicing")
+	srcRemoval := flag.Bool("source-removal", false, "ablation: source removal instead of destination removal")
+	placement := flag.String("placement", "circle", "placement: circle | clustered | random")
+	load := flag.String("load", "cbr", "workload: cbr | poisson | burst | saturate | none")
+	period := flag.Int64("period", 40, "CBR period / Poisson mean (slots)")
+	dest := flag.String("dest", "opposite", "destinations: opposite | neighbor | uniform")
+	flag.Parse()
+
+	if *proto == "tpt" {
+		s.Protocol = wrtring.TPT
+	}
+	if *srcRemoval {
+		s.Removal = 1
+	}
+	switch *placement {
+	case "clustered":
+		s.Placement = wrtring.PlacementClustered
+	case "random":
+		s.Placement = wrtring.PlacementRandom
+	}
+
+	var d wrtring.DestSpec
+	switch *dest {
+	case "neighbor":
+		d = wrtring.Offset(1)
+	case "uniform":
+		d = wrtring.Uniform()
+	default:
+		d = wrtring.Opposite()
+	}
+	switch *load {
+	case "cbr":
+		s.Sources = []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.CBR,
+			Class: wrtring.Premium, Period: *period, Dest: d, Tagged: true}}
+	case "poisson":
+		s.Sources = []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.Poisson,
+			Class: wrtring.Premium, Mean: float64(*period), Dest: d}}
+	case "burst":
+		s.Sources = []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.OnOff,
+			Class: wrtring.BestEffort, Mean: float64(*period) * 4, Burst: 10, Dest: d}}
+	case "saturate":
+		s.Sources = []wrtring.Source{
+			{Station: wrtring.AllStations, Class: wrtring.Premium, Dest: d, Preload: int(s.Duration)},
+			{Station: wrtring.AllStations, Class: wrtring.BestEffort, Dest: d, Preload: int(s.Duration)},
+		}
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown load %q\n", *load)
+		os.Exit(2)
+	}
+
+	if *config != "" {
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s, err = wrtring.ParseScenario(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *dumpConfig {
+		data, err := wrtring.EncodeScenario(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	net, err := wrtring.Build(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := net.Run()
+
+	fmt.Printf("protocol=%s n=%d slots=%d seed=%d\n", s.Protocol, res.N, res.Slots, s.Seed)
+	fmt.Printf("rounds=%d rotation mean=%.2f max=%d bound=%d (holds=%v)\n",
+		res.Rounds, res.MeanRotation, res.MaxRotation, res.RotationBound,
+		int64(res.MaxRotation) < res.RotationBound)
+	fmt.Printf("hops/round=%.1f mean-rotation-bound=%d\n", res.HopsPerRound, res.MeanRotationBound)
+	for _, c := range []wrtring.Class{wrtring.Premium, wrtring.Assured, wrtring.BestEffort} {
+		if res.Delivered[c] == 0 {
+			continue
+		}
+		fmt.Printf("%-12s delivered=%d delay mean=%.1f max=%.0f\n",
+			c, res.Delivered[c], res.MeanDelay[c], res.MaxDelay[c])
+	}
+	fmt.Printf("throughput=%.4f pkt/slot\n", res.Throughput)
+	fmt.Printf("radio: sent=%d delivered=%d collisions=%d lost=%d\n",
+		res.RadioSent, res.RadioDelivered, res.RadioCollisions, res.RadioLost)
+	fmt.Printf("recovery: detections=%d splices=%d reforms=%d falseAlarms=%d\n",
+		res.Detections, res.Splices, res.Reformations, res.FalseAlarms)
+	if res.RAPs > 0 {
+		fmt.Printf("raps=%d joins=%d\n", res.RAPs, res.Joins)
+	}
+	if net.Ring != nil && len(net.Ring.Tagged) > 0 {
+		worst := 0.0
+		for _, p := range net.Ring.Tagged {
+			if r := float64(p.Wait) / float64(p.Bound); r > worst {
+				worst = r
+			}
+		}
+		fmt.Printf("theorem3: %d probes, worst wait/bound=%.3f\n", len(net.Ring.Tagged), worst)
+	}
+	if res.Dead {
+		fmt.Println("NETWORK DEAD")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command wrtsweep runs a parameter sweep across a worker pool and prints
+// the results as CSV — the bulk-experiment front end for the repository.
+//
+// Examples:
+//
+//	wrtsweep -over n -values 5,10,20,50 -protocols both
+//	wrtsweep -over seed -values 1,2,3,4,5 -n 16 -load saturate
+//	wrtsweep -over quota -values 1:1,2:2,4:2 -n 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/sweep"
+)
+
+func main() {
+	over := flag.String("over", "n", "sweep dimension: n | seed | quota")
+	values := flag.String("values", "5,10,20", "comma-separated values (quota uses l:k pairs)")
+	protocols := flag.String("protocols", "wrt", "wrt | tpt | both")
+	n := flag.Int("n", 8, "stations (fixed dimensions)")
+	l := flag.Int("l", 2, "real-time quota")
+	k := flag.Int("k", 2, "best-effort quota")
+	dur := flag.Int64("dur", 30_000, "slots per run")
+	seed := flag.Uint64("seed", 1, "base seed")
+	load := flag.String("load", "cbr", "cbr | saturate | none")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	base := wrtring.Scenario{N: *n, L: *l, K: *k, Seed: *seed, Duration: *dur}
+	switch *load {
+	case "cbr":
+		base.Sources = []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.CBR,
+			Class: wrtring.Premium, Period: 50, Dest: wrtring.Opposite()}}
+	case "saturate":
+		base.Sources = []wrtring.Source{
+			{Station: wrtring.AllStations, Class: wrtring.Premium, Dest: wrtring.Opposite(), Preload: int(*dur)},
+			{Station: wrtring.AllStations, Class: wrtring.BestEffort, Dest: wrtring.Opposite(), Preload: int(*dur)},
+		}
+	case "none":
+	default:
+		fail("unknown load %q", *load)
+	}
+
+	var pts []sweep.Point
+	fields := strings.Split(*values, ",")
+	switch *over {
+	case "n":
+		var ns []int
+		for _, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 3 {
+				fail("bad station count %q", f)
+			}
+			ns = append(ns, v)
+		}
+		pts = sweep.OverN(base, ns)
+	case "seed":
+		var seeds []uint64
+		for _, f := range fields {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fail("bad seed %q", f)
+			}
+			seeds = append(seeds, v)
+		}
+		pts = sweep.OverSeeds(base, seeds)
+	case "quota":
+		var lks [][2]int
+		for _, f := range fields {
+			parts := strings.SplitN(strings.TrimSpace(f), ":", 2)
+			if len(parts) != 2 {
+				fail("quota value %q is not l:k", f)
+			}
+			lv, err1 := strconv.Atoi(parts[0])
+			kv, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fail("quota value %q is not numeric l:k", f)
+			}
+			lks = append(lks, [2]int{lv, kv})
+		}
+		pts = sweep.OverQuota(base, lks)
+	default:
+		fail("unknown sweep dimension %q", *over)
+	}
+
+	switch *protocols {
+	case "wrt":
+	case "tpt":
+		for i := range pts {
+			pts[i].Scenario.Protocol = wrtring.TPT
+		}
+	case "both":
+		pts = sweep.OverProtocol(pts)
+	default:
+		fail("unknown protocols %q", *protocols)
+	}
+
+	outs := sweep.Run(pts, *workers)
+	fmt.Print(sweep.CSV(outs))
+	for _, o := range outs {
+		if o.Err != nil {
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,146 @@
+package wrtring
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file makes Scenario serialisable: experiments can live in version-
+// controlled JSON files and be replayed bit-identically (the seed pins the
+// whole trace). All enum-like types marshal as their canonical names.
+
+// MarshalJSON renders the protocol name.
+func (p Protocol) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts "wrt-ring" (or "wrt") and "tpt".
+func (p *Protocol) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"wrt-ring"`, `"wrt"`, `""`:
+		*p = WRTRing
+	case `"tpt"`:
+		*p = TPT
+	default:
+		return fmt.Errorf("wrtring: unknown protocol %s", b)
+	}
+	return nil
+}
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlacementClustered:
+		return "clustered"
+	case PlacementRandom:
+		return "random"
+	default:
+		return "circle"
+	}
+}
+
+// MarshalJSON renders the placement name.
+func (p Placement) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the placement names.
+func (p *Placement) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"circle"`, `""`:
+		*p = PlacementCircle
+	case `"clustered"`:
+		*p = PlacementClustered
+	case `"random"`:
+		*p = PlacementRandom
+	default:
+		return fmt.Errorf("wrtring: unknown placement %s", b)
+	}
+	return nil
+}
+
+// MarshalJSON renders the churn kind name.
+func (k ChurnKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the churn kind names.
+func (k *ChurnKind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"kill"`:
+		*k = Kill
+	case `"leave"`:
+		*k = Leave
+	case `"join"`:
+		*k = Join
+	case `"lose-signal"`:
+		*k = LoseSignal
+	default:
+		return fmt.Errorf("wrtring: unknown churn kind %s", b)
+	}
+	return nil
+}
+
+// destJSON is the serialised form of DestSpec.
+type destJSON struct {
+	Kind string `json:"kind"`
+	Arg  int    `json:"arg,omitempty"`
+}
+
+// MarshalJSON renders the destination rule.
+func (d DestSpec) MarshalJSON() ([]byte, error) {
+	j := destJSON{Arg: d.arg}
+	switch d.kind {
+	case 1:
+		j.Kind = "fixed"
+	case 2:
+		j.Kind = "uniform"
+	default:
+		if d.arg == -1 {
+			j.Kind = "opposite"
+			j.Arg = 0
+		} else {
+			j.Kind = "offset"
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses a destination rule.
+func (d *DestSpec) UnmarshalJSON(b []byte) error {
+	var j destJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case "fixed":
+		*d = Fixed(j.Arg)
+	case "uniform":
+		*d = Uniform()
+	case "opposite":
+		*d = Opposite()
+	case "offset", "":
+		*d = Offset(j.Arg)
+	default:
+		return fmt.Errorf("wrtring: unknown destination kind %q", j.Kind)
+	}
+	return nil
+}
+
+// ParseScenario decodes a scenario from JSON, rejecting unknown fields so
+// typos in experiment files fail loudly.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("wrtring: parsing scenario: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeScenario renders a scenario as indented JSON.
+func EncodeScenario(s Scenario) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,135 @@
+package wrtring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s := Scenario{
+		Protocol: TPT, N: 12, L: 3, K: 2, Seed: 99, Duration: 12345,
+		Placement: PlacementClustered, Clusters: 2, Area: 80, Range: 40,
+		EnableRAP: true, TEar: 16, TUpdate: 6, AutoRejoin: true,
+		Sources: []Source{
+			{Station: AllStations, Kind: CBR, Class: Premium, Period: 40,
+				Deadline: 100, Dest: Opposite(), Tagged: true},
+			{Station: 3, Kind: Poisson, Class: Assured, Mean: 25, Dest: Fixed(7)},
+			{Station: 4, Kind: OnOff, Class: BestEffort, Mean: 100, Burst: 6, Dest: Uniform()},
+			{Station: 5, Kind: VBR, Class: Premium, Period: 90, Burst: 4, Dest: Offset(2)},
+		},
+		Churn: []ChurnOp{
+			{At: 100, Kind: Kill, Station: 2},
+			{At: 200, Kind: Leave, Station: 3},
+			{At: 300, Kind: Join, Station: 1, Quota: Quota{L: 1, K1: 1}},
+			{At: 400, Kind: LoseSignal},
+		},
+		Mobility: &Mobility{Speed: 0.01, PauseMin: 10, PauseMax: 20, StepEvery: 50},
+		Trace:    true,
+	}
+	data, err := EncodeScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	// Compare by re-encoding (DestSpec has unexported fields; JSON is the
+	// canonical comparison surface).
+	data2, err := EncodeScenario(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("round trip changed:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestRoundTrippedScenarioRunsIdentically(t *testing.T) {
+	s := Scenario{
+		N: 8, L: 2, K: 2, Seed: 7, Duration: 5000,
+		Sources: []Source{{Station: AllStations, Kind: Poisson, Class: Premium,
+			Mean: 60, Dest: Uniform()}},
+	}
+	data, err := EncodeScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("serialised scenario diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []string{
+		`{"Protocol": "osi"}`,
+		`{"Placement": "moon"}`,
+		`{"Sources": [{"Kind": "telepathy"}]}`,
+		`{"Sources": [{"Class": "imperial"}]}`,
+		`{"Churn": [{"Kind": "explode"}]}`,
+		`{"Sources": [{"Dest": {"kind": "nowhere"}}]}`,
+		`{not json}`,
+		`{"NoSuchField": 1}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseScenario([]byte(c)); err == nil {
+			t.Fatalf("accepted %s", c)
+		}
+	}
+}
+
+func TestDestSpecJSONProperty(t *testing.T) {
+	err := quick.Check(func(kind uint8, arg int16) bool {
+		var d DestSpec
+		switch kind % 4 {
+		case 0:
+			d = Offset(int(arg))
+		case 1:
+			d = Fixed(int(arg))
+		case 2:
+			d = Uniform()
+		case 3:
+			d = Opposite()
+		}
+		b, err := d.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back DestSpec
+		if err := back.UnmarshalJSON(b); err != nil {
+			return false
+		}
+		b2, err := back.MarshalJSON()
+		return err == nil && string(b) == string(b2)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolAndPlacementNames(t *testing.T) {
+	if WRTRing.String() != "wrt-ring" || TPT.String() != "tpt" {
+		t.Fatal("protocol names")
+	}
+	if PlacementCircle.String() != "circle" || PlacementClustered.String() != "clustered" ||
+		PlacementRandom.String() != "random" {
+		t.Fatal("placement names")
+	}
+	for _, k := range []ChurnKind{Kill, Leave, Join, LoseSignal} {
+		if k.String() == "" {
+			t.Fatal("empty churn name")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command multimedia reproduces the §2.3 / Figure 2 setting: an ad hoc
+// WRT-Ring meeting room connected through gateway station G1 to a wired
+// Diffserv LAN. A premium video stream is admitted through the §2.3
+// bandwidth dialogue and crosses both networks; assured and best-effort
+// background load tries (and fails) to disturb it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/diffserv"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func main() {
+	scenario := wrtring.Scenario{
+		N: 8, L: 2, K: 4, // k = k1 + k2 = 2 + 2 (Assured + best-effort)
+		Seed:     11,
+		Duration: 120_000,
+		Sources: []wrtring.Source{
+			{ // Assured background from every station toward G1 (station 0)
+				Station: wrtring.AllStations, Kind: wrtring.Poisson,
+				Class: wrtring.Assured, Mean: 90, Dest: wrtring.Fixed(0),
+			},
+			{ // heavy best-effort overload
+				Station: wrtring.AllStations, Kind: wrtring.OnOff,
+				Class: wrtring.BestEffort, Mean: 120, Burst: 20, Dest: wrtring.Uniform(),
+			},
+		},
+	}
+	net, err := wrtring.Build(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, kern := net.Ring, net.Kernel
+
+	// The Diffserv LAN behind G1: premium policed to its contract, assured
+	// to a softer profile, best-effort unpoliced.
+	lan := diffserv.NewNode(kern)
+	lan.Policer[core.Premium] = diffserv.NewTokenBucket(0.04, 4)
+	lan.Policer[core.Assured] = diffserv.NewTokenBucket(0.02, 8)
+	lan.QueueCap = 512
+	lanDelivered := 0
+	lan.Out = func(p core.Packet, now sim.Time) { lanDelivered++ }
+	lan.Start()
+
+	g1 := diffserv.NewGateway(ring, ring.Station(0), lan)
+	g1.MaxPremiumQuota = 8 // the network-side reservation limit for G1
+	ring.OnDeliver = func(p core.Packet, now sim.Time) {
+		if p.Dst == 0 && p.Ext != 0 {
+			g1.ToLAN(p, now) // ring → LAN crossing
+		}
+	}
+
+	fmt.Println("multimedia — Diffserv LAN ⇄ WRT-Ring via gateway G1")
+
+	// §2.3 dialogue: the LAN asks G1 for bandwidth before streaming.
+	videoRate := 0.03 // premium packets per slot
+	granted, err := g1.RequestPremium(videoRate)
+	if err != nil {
+		log.Fatalf("admission failed: %v", err)
+	}
+	fmt.Printf("  admission: video at %.3f pkt/slot granted l quota +%d at G1 (SAT_TIME now %d)\n",
+		videoRate, granted, ring.SatTime())
+
+	// An over-greedy second request must be refused, not degrade service.
+	if _, err := g1.RequestPremium(0.9); err != nil {
+		fmt.Printf("  admission: greedy 0.9 pkt/slot stream rejected: %v\n", err)
+	}
+
+	// LAN→ring premium video: a packet every 1/videoRate slots toward
+	// station 4, entering through G1.
+	period := sim.Time(1 / videoRate)
+	var pump func()
+	pump = func() {
+		if kern.Now() >= sim.Time(scenario.Duration) {
+			return
+		}
+		g1.FromLAN(4, core.Premium, 4242 /* LAN host id */)
+		kern.After(period, sim.PrioTraffic, pump)
+	}
+	kern.At(1000, sim.PrioTraffic, pump)
+
+	// Ring→LAN: station 6 sends premium to LAN host 7001 via G1.
+	var up func()
+	up = func() {
+		if kern.Now() >= sim.Time(scenario.Duration) {
+			return
+		}
+		ring.Station(6).Enqueue(core.Packet{Dst: 0, Class: core.Premium, Ext: 7001})
+		kern.After(200, sim.PrioTraffic, up)
+	}
+	kern.At(1500, sim.PrioTraffic, up)
+
+	res := net.Run()
+
+	fmt.Printf("\n  per-class ring deliveries (premium must be untouched by the overload):\n")
+	for _, c := range []core.Class{core.Premium, core.Assured, core.BestEffort} {
+		fmt.Printf("    %-12s delivered=%-7d mean delay=%.1f max=%.0f\n",
+			c, res.Delivered[c], res.MeanDelay[c], res.MaxDelay[c])
+	}
+	fmt.Printf("  gateway: LAN→ring %d, ring→LAN %d packets; admissions %d/%d\n",
+		g1.Metrics.LANToRing, g1.Metrics.RingToLAN, g1.Metrics.Admitted, g1.Metrics.Requests)
+	fmt.Printf("  LAN node: forwarded %v, demoted (assured→BE) %d, dropped %v, delivered-to-hosts %d\n",
+		lan.Metrics.Forwarded, lan.Metrics.Demoted, lan.Metrics.Dropped, lanDelivered)
+	fmt.Printf("  rotation: mean %.1f, max %d, Theorem-1 bound %d (holds: %v)\n",
+		res.MeanRotation, res.MaxRotation, res.RotationBound, res.MaxRotation < res.RotationBound)
+}

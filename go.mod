@@ -1,0 +1,3 @@
+module github.com/rtnet/wrtring
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package analysis implements the closed-form results of the paper:
+// the WRT-Ring SAT rotation and network-access bounds of §2.6
+// (Theorems 1–3, Propositions 1–3) and the TPT timed-token bounds of
+// §3.1.2/§3.3 (equation 7 and the 2·TTRT loss-reaction bound), plus the
+// §3.3 comparison helpers. All quantities are in slot units, matching the
+// paper's normalisation.
+package analysis
+
+import "fmt"
+
+// RingParams captures the quantities the WRT-Ring bounds depend on.
+type RingParams struct {
+	// N is the number of stations in the ring.
+	N int
+	// S is the ring latency in slots — the time the SAT needs to traverse
+	// the idle ring. With one slot per hop, S = N.
+	S int64
+	// TRap is the length of the Random Access Period (T_ear + T_update).
+	TRap int64
+	// SumLK is Σ_j (l_j + k_j), the total per-rotation quota.
+	SumLK int64
+}
+
+// Uniform builds RingParams for N stations with identical quotas l and k
+// and S = N.
+func Uniform(n, l, k int, trap int64) RingParams {
+	return RingParams{N: n, S: int64(n), TRap: trap, SumLK: int64(n) * int64(l+k)}
+}
+
+// SatTimeBound is Theorem 1: the strict upper bound on the time between two
+// consecutive SAT arrivals (departures) at the same station,
+//
+//	SAT_TIME_i < S + T_rap + 2·Σ_j (l_j + k_j).
+//
+// The returned value is the right-hand side; measured rotations must be
+// strictly smaller.
+func SatTimeBound(p RingParams) int64 {
+	return p.S + p.TRap + 2*p.SumLK
+}
+
+// SatTimeBoundUniform is Proposition 1: with identical quotas the bound is
+// S + T_rap + 2·N·(l+k).
+func SatTimeBoundUniform(n, l, k int, s, trap int64) int64 {
+	return s + trap + 2*int64(n)*int64(l+k)
+}
+
+// MultiRotationBound is Theorem 2: the upper bound on the time spanned by n
+// consecutive SAT arrivals at the same station,
+//
+//	SAT_TIME_i[n] ≤ n·S + n·T_rap + (n+1)·Σ_j (l_j + k_j).
+func MultiRotationBound(p RingParams, n int64) int64 {
+	return n*p.S + n*p.TRap + (n+1)*p.SumLK
+}
+
+// MeanRotationBound is Proposition 3: the bound on the average SAT rotation
+// time, S + T_rap + Σ_j (l_j + k_j).
+func MeanRotationBound(p RingParams) int64 {
+	return p.S + p.TRap + p.SumLK
+}
+
+// AccessDelayBound is Theorem 3: the worst-case wait of a tagged real-time
+// packet that finds x real-time packets already queued at a station with
+// quota l,
+//
+//	T_wait ≤ SAT_TIME[⌈(x+1)/l⌉ + 1].
+func AccessDelayBound(p RingParams, x int, l int) int64 {
+	if l <= 0 {
+		panic("analysis: AccessDelayBound with l <= 0")
+	}
+	n := int64(ceilDiv(x+1, l) + 1)
+	return MultiRotationBound(p, n)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TPTParams captures the quantities the TPT bounds depend on (§3.1.2).
+type TPTParams struct {
+	// N is the number of stations in the tree.
+	N int
+	// TProc is the token transmission (processing) time per hop, in slots.
+	TProc int64
+	// TProp is the propagation time per hop, in slots.
+	TProp int64
+	// TRap is the random access period length.
+	TRap int64
+	// SumH is Σ_i H_e,i, the total reserved synchronous time per rotation.
+	SumH int64
+	// TTRT is the negotiated target token rotation time.
+	TTRT int64
+}
+
+// TokenRoundTrip is the §3.3 idle round-trip cost of the token: the token
+// must traverse 2·(N−1) links (depth-first over the tree), so
+//
+//	2·(N−1)·(T_proc + T_prop) + T_rap.
+func TokenRoundTrip(p TPTParams) int64 {
+	return 2*int64(p.N-1)*(p.TProc+p.TProp) + p.TRap
+}
+
+// SatRoundTrip is the §3.3 idle round-trip cost of the SAT under identical
+// per-hop costs: N·(T_proc + T_prop) + T_rap.
+func SatRoundTrip(n int, tproc, tprop, trap int64) int64 {
+	return int64(n)*(tproc+tprop) + trap
+}
+
+// TPTConstraint is equation (7): the admission condition
+//
+//	Σ H_e,i + 2·(N−1)·(T_proc + T_prop) + T_rap ≤ D/2
+//
+// with D = min_i D_i the tightest application delay bound. It returns the
+// left-hand side and whether the constraint holds for the given D.
+func TPTConstraint(p TPTParams, d int64) (lhs int64, ok bool) {
+	lhs = p.SumH + 2*int64(p.N-1)*(p.TProc+p.TProp) + p.TRap
+	return lhs, lhs <= d/2
+}
+
+// TPTLossReaction is the token-loss detection bound: a station detects the
+// loss after at most the maximum token rotation time, D = 2·TTRT (§3.1.3).
+func TPTLossReaction(p TPTParams) int64 { return 2 * p.TTRT }
+
+// WRTLossReaction is the SAT-loss detection bound: SAT_TIME (§3.3).
+func WRTLossReaction(p RingParams) int64 { return SatTimeBound(p) }
+
+// CompareLossReaction reproduces the §3.3 claim SAT_TIME < D = 2·TTRT for a
+// common scenario: the same stations with the same reserved bandwidth
+// (Σ(l+k) = ΣH) and TTRT chosen as the smallest value satisfying equation
+// (7) with equality headroom. It returns both bounds.
+func CompareLossReaction(ring RingParams, tpt TPTParams) (sat, token int64) {
+	return WRTLossReaction(ring), TPTLossReaction(tpt)
+}
+
+// MinimalTTRT returns the smallest TTRT for which equation (7) admits the
+// load: TTRT ≥ ΣH + 2(N−1)(Tproc+Tprop) + T_rap (taking D = 2·TTRT).
+func MinimalTTRT(p TPTParams) int64 {
+	return p.SumH + 2*int64(p.N-1)*(p.TProc+p.TProp) + p.TRap
+}
+
+// String renders RingParams for reports.
+func (p RingParams) String() string {
+	return fmt.Sprintf("ring{N=%d S=%d Trap=%d sumLK=%d}", p.N, p.S, p.TRap, p.SumLK)
+}
+
+// String renders TPTParams for reports.
+func (p TPTParams) String() string {
+	return fmt.Sprintf("tpt{N=%d Tproc=%d Tprop=%d Trap=%d sumH=%d TTRT=%d}",
+		p.N, p.TProc, p.TProp, p.TRap, p.SumH, p.TTRT)
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSatTimeBoundFormula(t *testing.T) {
+	// Proposition 1 example: N=10, l=2, k=2, S=10, Trap=16:
+	// 10 + 16 + 2*10*4 = 106.
+	p := Uniform(10, 2, 2, 16)
+	if got := SatTimeBound(p); got != 106 {
+		t.Fatalf("SatTimeBound = %d", got)
+	}
+	if got := SatTimeBoundUniform(10, 2, 2, 10, 16); got != 106 {
+		t.Fatalf("SatTimeBoundUniform = %d", got)
+	}
+}
+
+func TestMultiRotationBound(t *testing.T) {
+	p := Uniform(10, 2, 2, 16)
+	// Theorem 2: n*S + n*Trap + (n+1)*Σ(l+k); n=1: 10+16+80=106 — equal to
+	// Theorem 1's RHS (Thm 1 is strict, Thm 2 non-strict).
+	if got := MultiRotationBound(p, 1); got != 106 {
+		t.Fatalf("n=1: %d", got)
+	}
+	if got := MultiRotationBound(p, 3); got != 3*10+3*16+4*40 {
+		t.Fatalf("n=3: %d", got)
+	}
+}
+
+func TestMeanRotationBound(t *testing.T) {
+	p := Uniform(10, 2, 2, 16)
+	if got := MeanRotationBound(p); got != 10+16+40 {
+		t.Fatalf("mean bound %d", got)
+	}
+}
+
+func TestAccessDelayBound(t *testing.T) {
+	p := Uniform(10, 2, 2, 0)
+	// x=0, l=2: ceil(1/2)+1 = 2 rotations: 2*10 + 3*40 = 140.
+	if got := AccessDelayBound(p, 0, 2); got != 140 {
+		t.Fatalf("x=0: %d", got)
+	}
+	// x=3, l=2: ceil(4/2)+1 = 3: 3*10 + 4*40 = 190.
+	if got := AccessDelayBound(p, 3, 2); got != 190 {
+		t.Fatalf("x=3: %d", got)
+	}
+}
+
+func TestAccessDelayBoundPanicsOnZeroL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AccessDelayBound(Uniform(5, 0, 1, 0), 0, 0)
+}
+
+func TestTPTFormulas(t *testing.T) {
+	p := TPTParams{N: 10, TProc: 1, TProp: 0, TRap: 16, SumH: 40}
+	// Token round trip: 2*9*1 + 16 = 34.
+	if got := TokenRoundTrip(p); got != 34 {
+		t.Fatalf("token rt %d", got)
+	}
+	if got := SatRoundTrip(10, 1, 0, 16); got != 26 {
+		t.Fatalf("sat rt %d", got)
+	}
+	// Equation (7): ΣH + 2(N-1)(Tproc+Tprop) + Trap = 40+18+16 = 74.
+	lhs, ok := TPTConstraint(p, 148)
+	if lhs != 74 || !ok {
+		t.Fatalf("constraint lhs=%d ok=%v", lhs, ok)
+	}
+	if _, ok := TPTConstraint(p, 147); ok {
+		t.Fatal("constraint must fail for D/2 < lhs")
+	}
+	if got := MinimalTTRT(p); got != 74 {
+		t.Fatalf("minimal TTRT %d", got)
+	}
+	p.TTRT = 74
+	if got := TPTLossReaction(p); got != 148 {
+		t.Fatalf("loss reaction %d", got)
+	}
+}
+
+func TestSection33Claims(t *testing.T) {
+	// The paper's §3.3 conclusions must hold for any same-scenario pair:
+	// SAT round trip < token round trip (N >= 3) and SAT_TIME < 2·TTRT
+	// under equal reserved bandwidth.
+	err := quick.Check(func(nRaw, lRaw, kRaw, trapRaw uint8) bool {
+		n := 3 + int(nRaw%98)
+		l := 1 + int(lRaw%8)
+		k := int(kRaw % 8)
+		trap := int64(trapRaw % 64)
+		ring := Uniform(n, l, k, trap)
+		tpt := TPTParams{N: n, TProc: 1, TProp: 0, TRap: trap, SumH: ring.SumLK}
+		tpt.TTRT = MinimalTTRT(tpt)
+		if SatRoundTrip(n, 1, 0, trap) > TokenRoundTrip(tpt) {
+			return false
+		}
+		sat, token := CompareLossReaction(ring, tpt)
+		return sat < token
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundMonotonicityProperties(t *testing.T) {
+	// Bounds must be monotone in N, quota, Trap and rotation count.
+	err := quick.Check(func(nRaw, lRaw uint8, trapRaw uint8) bool {
+		n := 3 + int(nRaw%60)
+		l := 1 + int(lRaw%6)
+		trap := int64(trapRaw % 32)
+		p := Uniform(n, l, 2, trap)
+		bigger := Uniform(n+1, l, 2, trap)
+		if SatTimeBound(bigger) <= SatTimeBound(p) {
+			return false
+		}
+		if MultiRotationBound(p, 4) <= MultiRotationBound(p, 3) {
+			return false
+		}
+		// More quota => looser access bound for same x... not necessarily:
+		// larger l reduces the rotations needed. Check instead that more
+		// backlog x never shrinks the bound.
+		return AccessDelayBound(p, 9, l) >= AccessDelayBound(p, 2, l)
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := Uniform(5, 1, 2, 3).String(); s == "" {
+		t.Fatal("empty ring params string")
+	}
+	p := TPTParams{N: 4, TTRT: 10}
+	if s := p.String(); s == "" {
+		t.Fatal("empty tpt params string")
+	}
+}

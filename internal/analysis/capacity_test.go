@@ -1,0 +1,68 @@
+package analysis
+
+import "testing"
+
+func TestRingCapacityLimits(t *testing.T) {
+	// Opposite traffic on a 12-ring, generous quota: slot-hop limited at
+	// N/dist = 12/6 = 2.
+	if got := RingCapacity(12, 4, 4, 0, 6); got != 2 {
+		t.Fatalf("slot-limited capacity %f", got)
+	}
+	// Neighbour traffic, tight quota l+k=2: quota limited at N*2/N = 2.
+	if got := RingCapacity(12, 1, 1, 0, 1); got != 2 {
+		t.Fatalf("quota-limited capacity %f", got)
+	}
+	// Neighbour traffic, big quota: slot limited at N/1 = 12.
+	if got := RingCapacity(12, 8, 8, 0, 1); got != 12 {
+		t.Fatalf("neighbour capacity %f", got)
+	}
+	// Trap slows the quota renewal.
+	withTrap := RingCapacity(12, 1, 1, 12, 1)
+	if withTrap >= 2 {
+		t.Fatalf("T_rap did not reduce quota-limited capacity: %f", withTrap)
+	}
+}
+
+func TestTPTCapacityShape(t *testing.T) {
+	p := TPTParams{N: 12, TProc: 1, TProp: 0, SumH: 48}
+	// TTRT_min = 48 + 22 = 70; data share 48/70.
+	got := TPTCapacity(p, 1)
+	want := 48.0 / 70.0
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("capacity %f want %f", got, want)
+	}
+	// Multihop relays divide the goodput.
+	if TPTCapacity(p, 3) >= got {
+		t.Fatal("tree hops did not reduce capacity")
+	}
+	// Degenerate: zero everything.
+	if TPTCapacity(TPTParams{N: 2}, 1) < 0 {
+		t.Fatal("negative capacity")
+	}
+}
+
+func TestCapacityAdvantageGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		adv := CapacityAdvantage(n, 2, 2, 0, 1, 1)
+		if adv <= 1 {
+			t.Fatalf("N=%d: no advantage (%f)", n, adv)
+		}
+		if adv <= prev {
+			t.Fatalf("advantage not growing: N=%d %f <= %f", n, adv, prev)
+		}
+		prev = adv
+	}
+}
+
+func TestUniformRingDistance(t *testing.T) {
+	if UniformRingDistance(12, "opposite") != 6 {
+		t.Fatal("opposite distance")
+	}
+	if UniformRingDistance(12, "neighbor") != 1 {
+		t.Fatal("neighbour distance")
+	}
+	if UniformRingDistance(12, "uniform") != 6 {
+		t.Fatal("uniform distance")
+	}
+}

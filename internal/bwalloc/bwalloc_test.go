@@ -1,0 +1,176 @@
+package bwalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/analysis"
+)
+
+func easyInput() Input {
+	return Input{
+		N: 8, S: 8, TRap: 0,
+		K: []int{1, 1, 1, 1, 1, 1, 1, 1},
+		Streams: []Stream{
+			{Station: 0, Period: 40, Deadline: 1500},
+			{Station: 3, Period: 80, Deadline: 2000},
+		},
+		MaxL: 32,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := easyInput()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := easyInput()
+	bad.K = bad.K[:3]
+	if bad.Validate() == nil {
+		t.Fatal("short K accepted")
+	}
+	bad = easyInput()
+	bad.Streams = append(bad.Streams, Stream{Station: 0, Period: 10, Deadline: 10})
+	if bad.Validate() == nil {
+		t.Fatal("duplicate station accepted")
+	}
+	bad = easyInput()
+	bad.Streams[0].Period = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = easyInput()
+	bad.Streams[0].Station = 99
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range station accepted")
+	}
+}
+
+func TestAllSchemesFeasibleOnEasyInput(t *testing.T) {
+	for _, s := range []Scheme{MinimalFeasible, EqualPartition, Proportional} {
+		res, err := Allocate(s, easyInput())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !res.Feasible {
+			t.Fatalf("%s infeasible: %+v", s, res.Checks)
+		}
+		// Every stream-holding station has quota; every check passes.
+		for _, c := range res.Checks {
+			if !c.OK || c.L < 1 {
+				t.Fatalf("%s: bad check %+v", s, c)
+			}
+			if c.Bound > c.Deadline {
+				t.Fatalf("%s: bound %d exceeds deadline %d", s, c.Bound, c.Deadline)
+			}
+		}
+		// Stations without streams keep l = 0.
+		for st, l := range res.L {
+			if l != 0 && st != 0 && st != 3 {
+				t.Fatalf("%s: streamless station %d got l=%d", s, st, l)
+			}
+		}
+	}
+}
+
+func TestImpossibleDeadlineIsInfeasible(t *testing.T) {
+	in := easyInput()
+	in.Streams[0].Deadline = 10 // below even one rotation
+	for _, s := range []Scheme{MinimalFeasible, EqualPartition, Proportional} {
+		res, err := Allocate(s, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible {
+			t.Fatalf("%s claimed feasibility for impossible deadline", s)
+		}
+	}
+}
+
+func TestVerifyExternalVector(t *testing.T) {
+	in := easyInput()
+	l := []int{2, 0, 0, 2, 0, 0, 0, 0}
+	res, err := Verify(in, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("hand vector infeasible: %+v", res.Checks)
+	}
+	if _, err := Verify(in, []int{1}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	// Zero quota for a stream station must fail.
+	res, err = Verify(in, make([]int, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("zero quotas feasible")
+	}
+}
+
+func TestMinimalFeasibleIsMinimalish(t *testing.T) {
+	// Dropping one unit from any stream's quota must break feasibility of
+	// that stream's own check chain... not strictly (bound also shrinks),
+	// but the allocator must never allocate more than MaxL and its total
+	// must not exceed the equal-partition total.
+	in := easyInput()
+	min, err := Allocate(MinimalFeasible, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Allocate(EqualPartition, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.SumLK > eq.SumLK {
+		t.Fatalf("minimal-feasible total %d exceeds equal-partition %d", min.SumLK, eq.SumLK)
+	}
+}
+
+func TestSchemeConsistencyProperty(t *testing.T) {
+	// Property: whenever any scheme reports Feasible, re-verifying its
+	// vector agrees; and the reported bound matches the analysis formula.
+	err := quick.Check(func(seedP, seedD uint8) bool {
+		in := Input{
+			N: 6, S: 6, TRap: 8,
+			K: []int{1, 1, 1, 1, 1, 1},
+			Streams: []Stream{
+				{Station: 1, Period: int64(seedP%60) + 20, Deadline: int64(seedD)*20 + 400},
+				{Station: 4, Period: 100, Deadline: 3000},
+			},
+			MaxL: 24,
+		}
+		for _, s := range []Scheme{MinimalFeasible, EqualPartition, Proportional} {
+			res, err := Allocate(s, in)
+			if err != nil {
+				return false
+			}
+			re, err := Verify(in, res.L)
+			if err != nil || re.Feasible != res.Feasible {
+				return false
+			}
+			for _, c := range res.Checks {
+				if c.L > 0 {
+					p := analysis.RingParams{N: in.N, S: in.S, TRap: in.TRap, SumLK: res.SumLK}
+					if c.Bound != analysis.AccessDelayBound(p, c.X, c.L) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{MinimalFeasible, EqualPartition, Proportional, Scheme(9)} {
+		if s.String() == "" {
+			t.Fatal("empty scheme name")
+		}
+	}
+}

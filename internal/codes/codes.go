@@ -1,0 +1,207 @@
+// Package codes implements CDMA spreading-code assignment for the stations
+// of an ad hoc network.
+//
+// The paper assumes codes "are given to each station when the virtual ring
+// is created" and cites Hu's distributed code-assignment algorithm
+// (IEEE/ACM ToN 1993) for how to obtain them. This package provides both
+// the trivial unique assignment the paper assumes (one distinct code per
+// station, receiver-based) and a two-hop graph-colouring assignment in the
+// spirit of Hu's algorithm, which reuses codes between stations that cannot
+// interfere, plus a verifier used by tests and by ring construction.
+package codes
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// Assignment maps each station index to its receiver code. Codes start at 1;
+// code 0 is the reserved broadcast code.
+type Assignment []radio.Code
+
+// NumCodes returns the number of distinct non-broadcast codes used.
+func (a Assignment) NumCodes() int {
+	seen := map[radio.Code]bool{}
+	for _, c := range a {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// Unique assigns station i the code i+1. This is the assignment the paper
+// assumes: every station owns a distinct receiver code.
+func Unique(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = radio.Code(i + 1)
+	}
+	return a
+}
+
+// Graph is an undirected adjacency structure over station indices.
+type Graph [][]int
+
+// NewGraph builds an empty graph over n stations.
+func NewGraph(n int) Graph { return make(Graph, n) }
+
+// AddEdge inserts the undirected edge (u, v); duplicate edges are ignored.
+func (g Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	for _, w := range g[u] {
+		if w == v {
+			return
+		}
+	}
+	g[u] = append(g[u], v)
+	g[v] = append(g[v], u)
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g Graph) HasEdge(u, v int) bool {
+	for _, w := range g[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// twoHop returns the set of stations within two hops of u (excluding u).
+func (g Graph) twoHop(u int) []int {
+	seen := map[int]bool{u: true}
+	var out []int
+	for _, v := range g[u] {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		for _, w := range g[v] {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TwoHopColoring greedily colours the square of the graph: stations within
+// two hops of each other receive different codes. Two hops is the classic
+// CDMA condition — one hop prevents the receiver from hearing two talkers
+// on its code (primary conflict), two hops prevents a station's neighbour
+// from being a neighbour of another station with the same code (secondary
+// conflict). Stations are processed in decreasing two-hop degree order,
+// which keeps the code count close to the lower bound on the graphs the
+// simulator produces.
+func TwoHopColoring(g Graph) Assignment {
+	n := len(g)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(g.twoHop(order[a])) > len(g.twoHop(order[b]))
+	})
+	a := make(Assignment, n)
+	for _, u := range order {
+		used := map[radio.Code]bool{}
+		for _, v := range g.twoHop(u) {
+			if a[v] != 0 {
+				used[a[v]] = true
+			}
+		}
+		c := radio.Code(1)
+		for used[c] {
+			c++
+		}
+		a[u] = c
+	}
+	return a
+}
+
+// DistributedColoring simulates Hu-style distributed code assignment: in
+// synchronous rounds, every still-uncoloured station whose random priority
+// beats all still-uncoloured two-hop neighbours picks the smallest code not
+// used within two hops. The outcome is a valid two-hop colouring reached
+// without any central entity; the number of rounds is returned for
+// instrumentation.
+func DistributedColoring(g Graph, rng *sim.RNG) (Assignment, int) {
+	n := len(g)
+	a := make(Assignment, n)
+	prio := make([]uint64, n)
+	for i := range prio {
+		prio[i] = rng.Uint64()
+	}
+	uncol := n
+	rounds := 0
+	for uncol > 0 {
+		rounds++
+		var winners []int
+		for u := 0; u < n; u++ {
+			if a[u] != 0 {
+				continue
+			}
+			best := true
+			for _, v := range g.twoHop(u) {
+				if a[v] == 0 && prio[v] > prio[u] {
+					best = false
+					break
+				}
+			}
+			if best {
+				winners = append(winners, u)
+			}
+		}
+		if len(winners) == 0 {
+			// Ties on priority are broken by index so the loop always
+			// makes progress even with adversarial priorities.
+			for u := 0; u < n; u++ {
+				if a[u] == 0 {
+					winners = []int{u}
+					break
+				}
+			}
+		}
+		for _, u := range winners {
+			used := map[radio.Code]bool{}
+			for _, v := range g.twoHop(u) {
+				if a[v] != 0 {
+					used[a[v]] = true
+				}
+			}
+			c := radio.Code(1)
+			for used[c] {
+				c++
+			}
+			a[u] = c
+			uncol--
+		}
+	}
+	return a, rounds
+}
+
+// Verify checks that the assignment is a valid two-hop colouring of g and
+// that no station uses the broadcast code. It returns a descriptive error
+// naming the first conflict found.
+func Verify(g Graph, a Assignment) error {
+	if len(a) != len(g) {
+		return fmt.Errorf("codes: assignment covers %d stations, graph has %d", len(a), len(g))
+	}
+	for u := range a {
+		if a[u] == radio.Broadcast {
+			return fmt.Errorf("codes: station %d assigned the broadcast code", u)
+		}
+		for _, v := range g.twoHop(u) {
+			if a[u] == a[v] {
+				return fmt.Errorf("codes: stations %d and %d share code %d within two hops", u, v, a[u])
+			}
+		}
+	}
+	return nil
+}

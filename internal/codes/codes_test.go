@@ -1,0 +1,145 @@
+package codes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// ringGraph builds a cycle of n stations.
+func ringGraph(n int) Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// randomGraph builds a connected-ish random graph.
+func randomGraph(n int, p float64, rng *sim.RNG) Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n) // backbone keeps it connected
+		for j := i + 2; j < n; j++ {
+			if rng.Bool(p) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestUniqueAssignment(t *testing.T) {
+	a := Unique(10)
+	if err := Verify(ringGraph(10), a); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCodes() != 10 {
+		t.Fatalf("unique assignment uses %d codes", a.NumCodes())
+	}
+}
+
+func TestTwoHopColoringRing(t *testing.T) {
+	for _, n := range []int{5, 6, 7, 12, 33} {
+		g := ringGraph(n)
+		a := TwoHopColoring(g)
+		if err := Verify(g, a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// A cycle needs far fewer codes than stations once n is large.
+		if n >= 12 && a.NumCodes() > 6 {
+			t.Fatalf("n=%d: ring coloured with %d codes", n, a.NumCodes())
+		}
+	}
+}
+
+func TestTwoHopColoringDense(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(20, 0.2, rng)
+		a := TwoHopColoring(g)
+		if err := Verify(g, a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDistributedColoring(t *testing.T) {
+	rng := sim.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(16, 0.25, rng)
+		a, rounds := DistributedColoring(g, rng)
+		if err := Verify(g, a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rounds < 1 || rounds > 16 {
+			t.Fatalf("trial %d: %d rounds", trial, rounds)
+		}
+	}
+}
+
+func TestDistributedMatchesGreedyValidity(t *testing.T) {
+	// Property: for random graphs, both algorithms yield valid colourings
+	// and the distributed one terminates.
+	rng := sim.NewRNG(3)
+	err := quick.Check(func(seed uint16) bool {
+		r := sim.NewRNG(uint64(seed))
+		n := 5 + r.Intn(20)
+		g := randomGraph(n, 0.15, r)
+		if Verify(g, TwoHopColoring(g)) != nil {
+			return false
+		}
+		a, _ := DistributedColoring(g, rng)
+		return Verify(g, a) == nil
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsBadAssignments(t *testing.T) {
+	g := ringGraph(5)
+	if Verify(g, Assignment{1, 2, 3}) == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if Verify(g, Assignment{0, 1, 2, 3, 4}) == nil {
+		t.Fatal("broadcast code accepted")
+	}
+	// Stations 0 and 1 are adjacent (one hop): same code must fail.
+	if Verify(g, Assignment{1, 1, 2, 3, 4}) == nil {
+		t.Fatal("one-hop conflict accepted")
+	}
+	// Stations 0 and 2 are two hops apart: same code must fail.
+	if Verify(g, Assignment{1, 2, 1, 3, 4}) == nil {
+		t.Fatal("two-hop conflict accepted")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(1, 1) // self loop ignored
+	if len(g[0]) != 1 || len(g[1]) != 1 {
+		t.Fatalf("adjacency: %v", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestTwoHopSet(t *testing.T) {
+	// Path 0-1-2-3-4: twoHop(0) = {1, 2}.
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	th := g.twoHop(0)
+	if len(th) != 2 || th[0] != 1 || th[1] != 2 {
+		t.Fatalf("twoHop(0) = %v", th)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// TestTwoJoinersContendForSameIngress puts two newcomers in range of the
+// same pair of consecutive stations: both answer the same NEXT_FREE after
+// random backoffs. Identical backoffs collide on the ingress code (the
+// paper's reason for the random access period being *random*); the
+// retry machinery must eventually admit both, one RAP at a time.
+func TestTwoJoinersContendForSameIngress(t *testing.T) {
+	n := 6
+	kern, med, ring := buildRing(t, n, 2, 2, rapParams(), 90)
+	kern.Run(50)
+
+	p2 := med.PositionOf(ring.Station(2).Node)
+	p3 := med.PositionOf(ring.Station(3).Node)
+	mid := radio.Position{X: (p2.X + p3.X) / 2, Y: (p2.Y + p3.Y) / 2}
+	r := med.RangeOf(ring.Station(0).Node)
+
+	nodeA := med.AddNode(radio.Position{X: mid.X + 1, Y: mid.Y}, r, nil)
+	nodeB := med.AddNode(radio.Position{X: mid.X - 1, Y: mid.Y}, r, nil)
+	ja := ring.NewJoiner(100, nodeA, radio.Code(100), Quota{L: 1, K1: 1})
+	jb := ring.NewJoiner(101, nodeB, radio.Code(101), Quota{L: 1, K1: 1})
+
+	kern.Run(kern.Now() + sim.Time(12*int64(n)*ring.SatTime()))
+	if !ja.Joined() || !jb.Joined() {
+		t.Fatalf("contending joiners: A=%s B=%s (RAPs=%d joins=%d)",
+			ja.State(), jb.State(), ring.Metrics.RAPs, ring.Metrics.Joins)
+	}
+	if got := ring.N(); got != n+2 {
+		t.Fatalf("ring size %d, want %d", got, n+2)
+	}
+	// They cannot have joined in the same RAP: join instants must differ
+	// by at least one SAT rotation.
+	evs := ring.Metrics.JoinEvents
+	if len(evs) != 2 {
+		t.Fatalf("join events: %d", len(evs))
+	}
+	gap := int64(evs[1].JoinedAt - evs[0].JoinedAt)
+	if gap < int64(n) {
+		t.Fatalf("two joins within one rotation: gap=%d", gap)
+	}
+}
+
+// TestJoinerCollisionObservable forces the collision case: both joiners
+// pick the same backoff by construction (same split RNG state is not
+// controllable, so we flood with several joiners to make at least one
+// collision statistically certain) and the ingress must simply miss that
+// RAP and serve later ones.
+func TestJoinerCollisionObservable(t *testing.T) {
+	n := 6
+	kern, med, ring := buildRing(t, n, 2, 2, rapParams(), 91)
+	kern.Run(50)
+	p2 := med.PositionOf(ring.Station(2).Node)
+	p3 := med.PositionOf(ring.Station(3).Node)
+	r := med.RangeOf(ring.Station(0).Node)
+	var joiners []*Joiner
+	for j := 0; j < 4; j++ {
+		node := med.AddNode(radio.Position{
+			X: (p2.X+p3.X)/2 + float64(j), Y: (p2.Y + p3.Y) / 2,
+		}, r, nil)
+		joiners = append(joiners, ring.NewJoiner(StationID(100+j), node,
+			radio.Code(100+j), Quota{L: 1, K1: 1}))
+	}
+	kern.Run(kern.Now() + sim.Time(30*int64(n)*ring.SatTime()))
+	joined := 0
+	for _, j := range joiners {
+		if j.Joined() {
+			joined++
+		}
+	}
+	if joined < 3 {
+		t.Fatalf("only %d of 4 contending joiners admitted", joined)
+	}
+	if ring.Dead() {
+		t.Fatal("ring died during contention")
+	}
+	// With four joiners racing, at least one backoff collision (or
+	// rejected duplicate request) is overwhelmingly likely; the protocol
+	// survives either way, which is the property under test.
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// TestQuotaPerRoundNeverExceeded checks the central fairness invariant of
+// §2.2: "every station cannot authorize more than l + k packets during
+// every SAT round".
+func TestQuotaPerRoundNeverExceeded(t *testing.T) {
+	n, l, k := 8, 2, 3
+	kern, _, ring := buildRing(t, n, l, k, Params{}, 20)
+	for i := 0; i < n; i++ {
+		st := ring.Station(StationID(i))
+		for p := 0; p < 500; p++ {
+			st.Enqueue(Packet{Dst: StationID((i + 1) % n), Class: Premium})
+			st.Enqueue(Packet{Dst: StationID((i + 2) % n), Class: Assured})
+			st.Enqueue(Packet{Dst: StationID((i + 3) % n), Class: BestEffort})
+		}
+	}
+	kern.Run(6000)
+	rounds := ring.Metrics.Rounds
+	if rounds < 20 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	for _, st := range ring.Stations() {
+		total := st.Metrics.Sent[Premium] + st.Metrics.Sent[Assured] + st.Metrics.Sent[BestEffort]
+		// +1 round of slack for the rotation in progress at cutoff.
+		if total > (rounds+1)*int64(l+k) {
+			t.Fatalf("station %d sent %d packets in %d rounds (l+k=%d)",
+				st.ID, total, rounds, l+k)
+		}
+		if st.Metrics.Sent[Premium] > (rounds+1)*int64(l) {
+			t.Fatalf("station %d overdrew the real-time quota: %d in %d rounds",
+				st.ID, st.Metrics.Sent[Premium], rounds)
+		}
+	}
+}
+
+// TestFairnessEqualShares: under symmetric saturation every station gets an
+// equal share of the network — the fairness property the SAT mechanism is
+// designed to provide.
+func TestFairnessEqualShares(t *testing.T) {
+	n := 10
+	kern, _, ring := buildRing(t, n, 2, 2, Params{}, 21)
+	for i := 0; i < n; i++ {
+		st := ring.Station(StationID(i))
+		for p := 0; p < 2000; p++ {
+			st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: Premium})
+		}
+	}
+	kern.Run(10_000)
+	var min, max int64 = 1 << 62, 0
+	for _, st := range ring.Stations() {
+		s := st.Metrics.Sent[Premium]
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 1.1 {
+		t.Fatalf("unfair shares: min=%d max=%d", min, max)
+	}
+}
+
+// TestDiffservSplitPriority checks the §2.3 k1/k2 behaviour: Assured
+// traffic is served from k1 before BestEffort touches k2, but neither can
+// starve Premium.
+func TestDiffservSplitPriority(t *testing.T) {
+	n := 6
+	kern, _, ring := buildRing(t, n, 1, 4, Params{}, 22) // k1=2, k2=2
+	st := ring.Station(0)
+	for p := 0; p < 300; p++ {
+		st.Enqueue(Packet{Dst: 3, Class: Assured})
+		st.Enqueue(Packet{Dst: 3, Class: BestEffort})
+	}
+	kern.Run(4000)
+	m := &st.Metrics
+	if m.Sent[Assured] == 0 || m.Sent[BestEffort] == 0 {
+		t.Fatalf("sent: %v", m.Sent)
+	}
+	// k1 = ceil(4/2) = 2 and k2 = 2: equal quota, so equal service, but
+	// Assured must never fall behind BestEffort.
+	if m.Sent[Assured] < m.Sent[BestEffort] {
+		t.Fatalf("assured %d behind best-effort %d", m.Sent[Assured], m.Sent[BestEffort])
+	}
+	// Mean wait ordering.
+	if m.Wait[Assured].Mean() > m.Wait[BestEffort].Mean() {
+		t.Fatalf("assured wait %.1f above best-effort %.1f",
+			m.Wait[Assured].Mean(), m.Wait[BestEffort].Mean())
+	}
+}
+
+// TestAssuredCannotStealK2 checks the split is a cap, not a priority-only
+// rule: with k1=1, k2=1, a station with only Assured backlog sends at most
+// k1 per round, leaving k2 unused (authorisations expire, §2.2).
+func TestAssuredCannotStealK2(t *testing.T) {
+	n := 6
+	params := Params{}
+	kern, _, ring := buildRing(t, n, 1, 2, params, 23) // k1=1, k2=1
+	st := ring.Station(0)
+	for p := 0; p < 500; p++ {
+		st.Enqueue(Packet{Dst: 3, Class: Assured})
+	}
+	kern.Run(5000)
+	rounds := ring.Metrics.Rounds
+	if st.Metrics.Sent[Assured] > rounds+1 {
+		t.Fatalf("assured sent %d in %d rounds with k1=1", st.Metrics.Sent[Assured], rounds)
+	}
+}
+
+// TestSourceRemovalPolicy: with source removal the slot returns to the
+// sender before being freed; delivery still works and undelivered returns
+// are detected.
+func TestSourceRemovalPolicy(t *testing.T) {
+	kern, _, ring := buildRing(t, 6, 2, 2, Params{Removal: SourceRemoval}, 24)
+	ring.Station(0).Enqueue(Packet{Dst: 3, Class: Premium})
+	kern.Run(200)
+	if ring.Metrics.Delivered[Premium] != 1 {
+		t.Fatalf("delivered %d", ring.Metrics.Delivered[Premium])
+	}
+	// A packet to a dead station comes back undelivered and is freed at
+	// the source.
+	ring.KillStation(4)
+	kern.Run(kern.Now() + sim.Time(3*ring.SatTime()))
+	ring.Station(0).Enqueue(Packet{Dst: 4, Class: Premium})
+	kern.Run(kern.Now() + 100)
+	if ring.Station(0).Metrics.ReturnedUndelivered != 1 {
+		t.Fatalf("undelivered return not detected: %+v", ring.Station(0).Metrics)
+	}
+}
+
+// TestOrphanSlotsFreedUnderDestinationRemoval: packets addressed to a dead
+// station must not poison the ring (the slots are freed when they circle
+// back to their source).
+func TestOrphanSlotsFreedUnderDestinationRemoval(t *testing.T) {
+	n := 8
+	kern, _, ring := buildRing(t, n, 2, 2, Params{}, 25)
+	kern.Run(100)
+	ring.KillStation(5)
+	kern.Run(kern.Now() + sim.Time(3*ring.SatTime()))
+	// Keep sending to the dead station.
+	src := ring.Station(1)
+	for p := 0; p < 50; p++ {
+		src.Enqueue(Packet{Dst: 5, Class: Premium})
+	}
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 2000)
+	if src.Metrics.OrphansFreed == 0 {
+		t.Fatalf("no orphan slots freed: %+v", src.Metrics)
+	}
+	if ring.Metrics.Rounds-before < 50 {
+		t.Fatalf("SAT starved by orphan slots: %d rounds", ring.Metrics.Rounds-before)
+	}
+	// Live traffic still flows.
+	del := ring.Metrics.Delivered[Premium]
+	ring.Station(2).Enqueue(Packet{Dst: 6, Class: Premium})
+	kern.Run(kern.Now() + 100)
+	if ring.Metrics.Delivered[Premium] != del+1 {
+		t.Fatal("live traffic blocked after orphan cleanup")
+	}
+}
+
+// TestRandomLossResilience: with a lossy data channel (control frames
+// protected, e.g. by heavier coding) the ring keeps delivering — lost slots
+// are regenerated, lost packets are the radio's toll.
+func TestRandomLossResilience(t *testing.T) {
+	n := 8
+	kern, med, ring := buildRing(t, n, 2, 2, Params{SatTimeMargin: 4}, 26)
+	med.LossProb = 0.005
+	med.ControlLossProb = 0 // SAT/REC frames protected
+	for i := 0; i < n; i++ {
+		st := ring.Station(StationID(i))
+		for p := 0; p < 300; p++ {
+			st.Enqueue(Packet{Dst: StationID((i + 3) % n), Class: Premium})
+		}
+	}
+	kern.Run(30_000)
+	if ring.Dead() {
+		t.Fatalf("ring died under 0.1%% loss: %s", ring.Metrics.DeathReason)
+	}
+	if ring.Metrics.Delivered[Premium] < 1000 {
+		t.Fatalf("only %d delivered under light loss", ring.Metrics.Delivered[Premium])
+	}
+	// Rotations must keep happening to the very end.
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 1000)
+	if ring.Metrics.Rounds == before {
+		t.Fatalf("ring stalled (rounds=%d, detections=%d reforms=%d)",
+			before, ring.Metrics.Detections, ring.Metrics.Reformations)
+	}
+}
+
+// TestExileAndAutoRejoin: a pure SAT loss cuts a healthy station out of the
+// ring; with AutoRejoin and the RAP enabled it re-enters and resumes
+// service with its old identity and quota.
+func TestExileAndAutoRejoin(t *testing.T) {
+	n := 8
+	params := rapParams()
+	params.AutoRejoin = true
+	kern, _, ring := buildRing(t, n, 2, 2, params, 29)
+	original := map[StationID]*Station{}
+	for _, st := range ring.Stations() {
+		original[st.ID] = st
+	}
+	kern.Run(200)
+	ring.LoseSATOnce()
+	// Detection + splice exiles one healthy station...
+	kern.Run(kern.Now() + sim.Time(4*ring.SatTime()))
+	if ring.Metrics.Exiles != 1 {
+		t.Fatalf("exiles = %d (detections=%d)", ring.Metrics.Exiles, ring.Metrics.Detections)
+	}
+	if ring.N() != n-1 && ring.N() != n {
+		t.Fatalf("ring size %d after exile", ring.N())
+	}
+	// ...and the RAP machinery brings it back.
+	kern.Run(kern.Now() + sim.Time(6*int64(n)*ring.SatTime()))
+	if ring.Metrics.Rejoins != 1 {
+		t.Fatalf("rejoins = %d (raps=%d joins=%d)", ring.Metrics.Rejoins,
+			ring.Metrics.RAPs, ring.Metrics.Joins)
+	}
+	if ring.N() != n {
+		t.Fatalf("ring size %d after rejoin, want %d", ring.N(), n)
+	}
+	// The rejoined station (a fresh MAC entity reusing the old identity)
+	// works.
+	var rejoined *Station
+	for id, orig := range original {
+		if cur := ring.Station(id); cur != orig {
+			rejoined = cur
+		}
+	}
+	if rejoined == nil || !rejoined.Active() {
+		t.Fatal("cannot identify the rejoined station")
+	}
+	del := ring.Metrics.Delivered[Premium]
+	rejoined.Enqueue(Packet{Dst: (rejoined.ID + 2) % StationID(n), Class: Premium})
+	kern.Run(kern.Now() + sim.Time(3*ring.SatTime()))
+	if ring.Metrics.Delivered[Premium] != del+1 {
+		t.Fatal("rejoined station cannot transmit")
+	}
+}
+
+// TestSustainedControlLossWithRejoin: under persistent control-frame loss,
+// exile+rejoin keeps the ring alive indefinitely — the full §2.4/§2.5
+// machinery working together.
+func TestSustainedControlLossWithRejoin(t *testing.T) {
+	n := 10
+	params := rapParams()
+	params.AutoRejoin = true
+	params.SatTimeMargin = 4
+	kern, med, ring := buildRing(t, n, 2, 2, params, 30)
+	med.ControlLossProb = 0.0005 // SAT frame dies every ~2000 carried hops
+	kern.Run(150_000)
+	if ring.Dead() {
+		t.Fatalf("ring died: %s (exiles=%d rejoins=%d reforms=%d)",
+			ring.Metrics.DeathReason, ring.Metrics.Exiles, ring.Metrics.Rejoins,
+			ring.Metrics.Reformations)
+	}
+	if ring.Metrics.Detections == 0 {
+		t.Skip("no control loss materialised (seed too lucky)")
+	}
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 2000)
+	if ring.Metrics.Rounds <= before {
+		t.Fatalf("ring stalled at the end (exiles=%d rejoins=%d)",
+			ring.Metrics.Exiles, ring.Metrics.Rejoins)
+	}
+	if ring.Metrics.Exiles > 0 && ring.Metrics.Rejoins == 0 {
+		t.Fatalf("exiled stations never rejoined: exiles=%d", ring.Metrics.Exiles)
+	}
+}
+
+// TestMultipleSequentialFailures: the ring survives several kills, one
+// after another, as long as geometry permits the splices.
+func TestMultipleSequentialFailures(t *testing.T) {
+	n := 12
+	kern, _, ring := buildRing(t, n, 2, 2, Params{}, 27)
+	kern.Run(200)
+	for _, victim := range []StationID{2, 7, 10} {
+		ring.KillStation(victim)
+		kern.Run(kern.Now() + sim.Time(4*ring.SatTime()))
+		if ring.Dead() {
+			t.Fatalf("ring died after killing %d", victim)
+		}
+	}
+	if got := ring.N(); got != n-3 {
+		t.Fatalf("ring size %d, want %d", got, n-3)
+	}
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 500)
+	if ring.Metrics.Rounds <= before {
+		t.Fatal("SAT stopped after sequential failures")
+	}
+}
+
+// TestTheorem1PropertyAcrossConfigs: randomized scenario property — under
+// any (N, l, k, seed) drawn small, the Theorem-1 bound holds on a
+// saturated run.
+func TestTheorem1PropertyAcrossConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run")
+	}
+	err := quick.Check(func(nRaw, lRaw, kRaw, seed uint8) bool {
+		n := 4 + int(nRaw%8)
+		l := 1 + int(lRaw%3)
+		k := int(kRaw % 3)
+		kern, _, ring := buildRing(t, n, l, k, Params{}, uint64(seed)+1000)
+		for i := 0; i < n; i++ {
+			st := ring.Station(StationID(i))
+			for p := 0; p < 200; p++ {
+				st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: Premium})
+				if k > 0 {
+					st.Enqueue(Packet{Dst: StationID((i + 1) % n), Class: BestEffort})
+				}
+			}
+		}
+		kern.Run(4000)
+		return int64(ring.Metrics.MaxRotation) < ring.SatTime() &&
+			ring.Metrics.FalseAlarms == 0 && !ring.Dead()
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSatHoldObservedWhenUnderProvisioned: a station whose premium demand
+// exceeds the empty slots reaching it must seize the SAT (§2.2's
+// not-satisfied state), observable via the SatHold metric.
+func TestSatHoldObservedWhenUnderProvisioned(t *testing.T) {
+	n := 8
+	kern, _, ring := buildRing(t, n, 4, 0, Params{}, 28)
+	// Everyone floods premium to the opposite station: empties are scarce,
+	// stations hold the SAT until they push l=4 packets out.
+	for i := 0; i < n; i++ {
+		st := ring.Station(StationID(i))
+		for p := 0; p < 2000; p++ {
+			st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: Premium})
+		}
+	}
+	kern.Run(10_000)
+	var held float64
+	for _, st := range ring.Stations() {
+		held += st.Metrics.SatHold.Mean()
+	}
+	if held == 0 {
+		t.Fatal("SAT never held despite saturation beyond slot supply")
+	}
+	if int64(ring.Metrics.MaxRotation) >= ring.SatTime() {
+		t.Fatalf("bound broken while holding: %d >= %d", ring.Metrics.MaxRotation, ring.SatTime())
+	}
+}

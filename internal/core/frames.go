@@ -1,0 +1,153 @@
+package core
+
+import (
+	"github.com/rtnet/wrtring/internal/radio"
+)
+
+// SlotPayload is the data part of a circulating slot: a header (busy bit,
+// addresses, class) and, when busy, one packet.
+type SlotPayload struct {
+	Busy bool
+	Pkt  Packet
+	// Hops counts link traversals since the packet was inserted. Under
+	// destination removal a packet that circles back to its source was
+	// addressed to a station that is no longer reachable (it left or
+	// died), so the source frees the slot; Hops is the belt-and-braces
+	// scrubber for the double-orphan case where the source is gone too.
+	Hops int32
+}
+
+// SatInfo is the SAT control signal (§2.2). It piggybacks on the ring frame
+// of the slot in which it is forwarded, which models a control header
+// transmitted in the same burst as the slot — a real transmitter encodes
+// both in one CDMA frame, so no extra channel is needed.
+type SatInfo struct {
+	// RAPMutex serialises Random Access Periods: at most one station per
+	// SAT rotation may open a RAP (§2.4.1).
+	RAPMutex bool
+	// RAPOwner is the station that set RAPMutex (so it can clear it when
+	// the SAT returns).
+	RAPOwner StationID
+	// Rounds counts completed rotations, for instrumentation.
+	Rounds int64
+}
+
+// SatRecInfo is the SAT_REC recovery signal (§2.5). It is injected by the
+// station whose SAT_TIMER expired, travels the ring like a SAT, and carries
+// the identity of the presumed-failed station so that the failed station's
+// predecessor can splice it out of the ring.
+//
+// Because SAT departures are spaced at least one slot apart, a SAT loss
+// makes every surviving station's timer expire in a wave, each naming its
+// own predecessor — but only the first detector (the failed station's true
+// successor) names the right one. Concurrent SAT_RECs are therefore
+// resolved by an election on (DetectedAt, Origin): the earliest detection
+// wins, ties broken by the lower station ID. Exactly one SAT_REC survives
+// the loop, and its originator substitutes it with a fresh SAT.
+type SatRecInfo struct {
+	Origin StationID
+	// Failed is the station presumed dead; FailedNext is its ring
+	// successor, whose code the predecessor must use for the splice.
+	Failed     StationID
+	FailedNext StationID
+	// DetectedAt is when the originator's SAT_TIMER expired; it is the
+	// primary election key.
+	DetectedAt int64
+}
+
+// beats reports whether a wins the recovery election over b.
+func (a *SatRecInfo) beats(b *SatRecInfo) bool {
+	if a.DetectedAt != b.DetectedAt {
+		return a.DetectedAt < b.DetectedAt
+	}
+	return a.Origin < b.Origin
+}
+
+// CutInfo is sent on the presumed-failed station's own code by the splicing
+// predecessor, one slot before it forwards the SAT_REC on the bypass code.
+// A station that is in fact alive (pure SAT loss, §2.5) thereby learns it
+// has been cut out and falls silent immediately — otherwise its own
+// transmissions on the successor's code would collide with the bypassed
+// SAT_REC and the splice could never complete.
+type CutInfo struct {
+	Failed StationID
+}
+
+// Control marks cut notifications as control traffic.
+func (CutInfo) Control() bool { return true }
+
+// LeaveInfo notifies the successor that the sender is leaving the ring
+// voluntarily (§2.4.2); the successor then behaves as if the SAT had been
+// lost at the leaver and starts a SAT_REC.
+type LeaveInfo struct {
+	Leaver StationID
+}
+
+// RingFrame is the single frame a station transmits per slot to its
+// successor's CDMA code: the slot payload plus any piggybacked control
+// signals.
+type RingFrame struct {
+	Slot   SlotPayload
+	Sat    *SatInfo
+	SatRec *SatRecInfo
+	Leave  *LeaveInfo
+}
+
+// Control implements radio.IsControl: frames carrying a control signal can
+// be subjected to a distinct loss probability, which is how SAT loss is
+// injected in experiments.
+func (f *RingFrame) Control() bool { return f.Sat != nil || f.SatRec != nil }
+
+// NextFreeFrame is the broadcast NEXT_FREE message an ingress station emits
+// at the start of its RAP (§2.4.1). Field names follow the paper.
+type NextFreeFrame struct {
+	Sender     StationID
+	SenderCode radio.Code
+	Next       StationID
+	NextCode   radio.Code
+	TEar       int64
+	// MaxResources advertises the spare quota the network can still grant
+	// (used by the joiner to pre-check admission).
+	MaxResources int64
+}
+
+// JoinReqFrame is the joining station's reply, transmitted on the ingress
+// station's code during the earing phase.
+type JoinReqFrame struct {
+	Addr StationID
+	Code radio.Code
+	L, K int
+}
+
+// JoinAckFrame is the ingress station's admission reply, transmitted on the
+// joiner's code. Accept=false carries the rejection.
+type JoinAckFrame struct {
+	Accept bool
+	// Pred/Succ tell the joiner its ring neighbours (ingress and its old
+	// successor) and the code to transmit slots on.
+	Pred, Succ StationID
+	SuccCode   radio.Code
+	// SatTime is the network's current SAT_TIME bound, which the joiner
+	// needs for its own SAT_TIMER.
+	SatTime int64
+}
+
+// RingLostFrame is broadcast when SAT_REC fails to complete a loop within
+// SAT_TIME: the ring cannot be spliced (e.g. hidden terminals prevent i−1
+// from reaching i+1) and a new ring must be formed (§2.5).
+type RingLostFrame struct {
+	Reporter StationID
+	Epoch    int64
+}
+
+// Control marks broadcast topology messages as control traffic.
+func (NextFreeFrame) Control() bool { return true }
+
+// Control marks join requests as control traffic.
+func (JoinReqFrame) Control() bool { return true }
+
+// Control marks join acknowledgements as control traffic.
+func (JoinAckFrame) Control() bool { return true }
+
+// Control marks ring-lost notifications as control traffic.
+func (RingLostFrame) Control() bool { return true }

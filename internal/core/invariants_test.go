@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+)
+
+// checkInvariants asserts the global protocol invariants that must hold at
+// any observation instant, whatever the history:
+//
+//	I1  at most one SAT exists (no station ever observed a duplicate);
+//	I2  the cyclic order and the succ/pred pointers agree;
+//	I3  active stations are exactly the order's members;
+//	I4  conservation: delivered(c) <= sent(c) <= offered(c) per class;
+//	I5  every rotation sample respects Theorem 1 (MaxRotation < bound);
+//	I6  per-station sends never exceed (rounds+2) * quota;
+//	I7  a live (non-dead) ring with members keeps rotating.
+func checkInvariants(t *testing.T, ring *Ring, label string) {
+	t.Helper()
+
+	// I1
+	holders := 0
+	for _, st := range ring.Stations() {
+		if st.hasSAT {
+			holders++
+		}
+	}
+	if holders > 1 {
+		t.Fatalf("%s: %d SAT holders", label, holders)
+	}
+	if ring.Metrics.DuplicateSAT > 0 {
+		t.Fatalf("%s: duplicate SAT observed %d times", label, ring.Metrics.DuplicateSAT)
+	}
+
+	// I2 + I3
+	if !ring.Dead() {
+		order := ring.Order()
+		n := len(order)
+		for i, id := range order {
+			st := ring.Station(id)
+			if st == nil || !st.Active() {
+				t.Fatalf("%s: order member %d inactive", label, id)
+			}
+			want := order[(i+1)%n]
+			if st.Succ() != want {
+				t.Fatalf("%s: succ(%d)=%d, order says %d", label, id, st.Succ(), want)
+			}
+			wantP := order[(i+n-1)%n]
+			if st.Pred() != wantP {
+				t.Fatalf("%s: pred(%d)=%d, order says %d", label, id, st.Pred(), wantP)
+			}
+		}
+		for _, st := range ring.Stations() {
+			if st.Active() {
+				found := false
+				for _, id := range order {
+					if id == st.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: active station %d not in order", label, st.ID)
+				}
+			}
+		}
+	}
+
+	// I4
+	for _, st := range ring.Stations() {
+		for c := Premium; c < numClasses; c++ {
+			if st.Metrics.Sent[c] > st.Metrics.Offered[c] {
+				t.Fatalf("%s: station %d sent %d > offered %d (%v)",
+					label, st.ID, st.Metrics.Sent[c], st.Metrics.Offered[c], c)
+			}
+		}
+	}
+	var sent, delivered int64
+	for _, st := range ring.Stations() {
+		for c := Premium; c < numClasses; c++ {
+			sent += st.Metrics.Sent[c]
+		}
+	}
+	delivered = ring.Metrics.TotalDelivered()
+	if delivered > sent {
+		t.Fatalf("%s: delivered %d > sent %d", label, delivered, sent)
+	}
+
+	// I5 — the Theorem-1 check only binds between topology changes; the
+	// ring resets rotation baselines on every change, so MaxRotation is
+	// comparable with the *smallest* bound that was ever active. We use
+	// the current bound plus the pre-change bound conservatively: any
+	// sample above the largest plausible bound is a real violation.
+	largestBound := ring.SatTime()
+	if ring.Metrics.MaxRotation >= largestBound+2*int64(ring.Metrics.Kills+ring.Metrics.Exiles+1)*8 {
+		// Allow a small slack per membership change for samples taken
+		// while the bound shrank; flag anything beyond it.
+		t.Fatalf("%s: max rotation %d far above bound %d", label, ring.Metrics.MaxRotation, largestBound)
+	}
+
+	// I6
+	rounds := ring.Metrics.Rounds
+	for _, st := range ring.Stations() {
+		total := st.Metrics.Sent[Premium] + st.Metrics.Sent[Assured] + st.Metrics.Sent[BestEffort]
+		cap := (rounds + 2) * int64(st.Quota.L+st.Quota.K())
+		if rounds > 0 && total > cap {
+			t.Fatalf("%s: station %d sent %d, quota cap %d over %d rounds",
+				label, st.ID, total, cap, rounds)
+		}
+	}
+}
+
+// TestInvariantsUnderRandomizedChurn fuzzes the protocol: random quotas,
+// random traffic, random kills/leaves/losses at random times, with and
+// without RAP — after every run the global invariants must hold and, if
+// at least three well-connected stations survive, the ring must still be
+// rotating.
+func TestInvariantsUnderRandomizedChurn(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := sim.NewRNG(uint64(trial) + 5000)
+			n := 6 + rng.Intn(8)
+			l := 1 + rng.Intn(3)
+			k := rng.Intn(3)
+			params := Params{SatTimeMargin: int64(rng.Intn(8))}
+			if rng.Bool(0.5) {
+				params.EnableRAP = true
+				params.TEar = 12
+				params.TUpdate = 4
+				params.AutoRejoin = rng.Bool(0.5)
+			}
+			kern, _, ring := buildRing(t, n, l, k, params, uint64(trial)+6000)
+
+			// Random traffic.
+			for i := 0; i < n; i++ {
+				st := ring.Station(StationID(i))
+				for p := 0; p < rng.Intn(200); p++ {
+					cls := Class(rng.Intn(3))
+					st.Enqueue(Packet{Dst: StationID(rng.Intn(n)), Class: cls})
+				}
+			}
+
+			// Random churn: up to two faults, never reducing below 4
+			// members so splices stay geometrically plausible.
+			faults := rng.Intn(3)
+			victims := rng.Perm(n)[:faults]
+			for fi, v := range victims {
+				at := sim.Time(2000 + rng.Intn(8000))
+				v := StationID(v)
+				switch fi % 3 {
+				case 0:
+					kern.At(at, sim.PrioAdmin, func() { ring.KillStation(v) })
+				case 1:
+					kern.At(at, sim.PrioAdmin, func() {
+						if st := ring.Station(v); st != nil {
+							st.Leave()
+						}
+					})
+				default:
+					kern.At(at, sim.PrioAdmin, func() { ring.LoseSATOnce() })
+				}
+			}
+			if rng.Bool(0.3) {
+				kern.At(sim.Time(4000+rng.Intn(4000)), sim.PrioAdmin, func() { ring.LoseSATOnce() })
+			}
+
+			kern.Run(40_000)
+			checkInvariants(t, ring, fmt.Sprintf("trial %d (n=%d l=%d k=%d)", trial, n, l, k))
+
+			// I7: a surviving ring keeps rotating.
+			if !ring.Dead() && ring.N() >= 3 {
+				before := ring.Metrics.Rounds
+				kern.Run(kern.Now() + sim.Time(3*ring.SatTime()))
+				if ring.Metrics.Rounds <= before {
+					t.Fatalf("trial %d: live ring stopped rotating (N=%d, det=%d, reforms=%d)",
+						trial, ring.N(), ring.Metrics.Detections, ring.Metrics.Reformations)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsUnderLossyControlChannel fuzzes sustained control loss with
+// the full rejoin machinery enabled.
+func TestInvariantsUnderLossyControlChannel(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := sim.NewRNG(uint64(trial) + 9000)
+		n := 8 + rng.Intn(5)
+		params := Params{EnableRAP: true, TEar: 12, TUpdate: 4, AutoRejoin: true, SatTimeMargin: 4}
+		kern, med, ring := buildRing(t, n, 2, 2, params, uint64(trial)+9100)
+		med.ControlLossProb = 0.0003
+		for i := 0; i < n; i++ {
+			st := ring.Station(StationID(i))
+			for p := 0; p < 100; p++ {
+				st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: Premium})
+			}
+		}
+		kern.Run(60_000)
+		checkInvariants(t, ring, fmt.Sprintf("lossy trial %d", trial))
+	}
+}
+
+// TestInvariantsWithMobileStations drives the waypoint model directly at
+// the core layer and re-checks invariants.
+func TestInvariantsWithMobileStations(t *testing.T) {
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(77)
+	med := radio.NewMedium(kern, rng.Split())
+	n := 10
+	pos := topology.Circle(n, 50)
+	txRange := topology.ChordLen(n, 50) * 3.0
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(pos[i], txRange, nil)
+		members[i] = Member{ID: StationID(i), Node: node, Code: radio.Code(i + 1),
+			Quota: Quota{L: 2, K1: 1, K2: 1}}
+	}
+	ring, err := New(kern, med, rng.Split(), Params{SatTimeMargin: 8}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Start()
+	wp := topology.NewWaypoint(110, 110, 0.004, 200, 800, rng.Split())
+	cur := append([]radio.Position(nil), pos...)
+	kern.EverySlot(0, sim.PrioStats, func(tm sim.Time) bool {
+		if tm > 0 && int64(tm)%100 == 0 {
+			cur = wp.Step(cur, 100)
+			for i := 0; i < n; i++ {
+				med.SetPosition(members[i].Node, cur[i])
+			}
+		}
+		return true
+	})
+	kern.Run(60_000)
+	checkInvariants(t, ring, "mobile")
+}

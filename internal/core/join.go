@@ -1,0 +1,347 @@
+package core
+
+import (
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// This file implements §2.4.1: the Random Access Period (RAP), the ingress
+// station algorithm (NEXT_FREE broadcast, earing and update phases) and the
+// requesting-station algorithm (the Joiner type).
+
+// sRound returns the RAP re-entry spacing: the paper requires
+// S_round(i) ≥ N, so zero means "current ring size".
+func (r *Ring) sRound() int {
+	if r.params.SRound > 0 {
+		return r.params.SRound
+	}
+	return len(r.order)
+}
+
+// enterRAP opens a Random Access Period at this station (§2.4.1): it seizes
+// the RAP mutex inside the SAT, holds the SAT, silences the network for
+// T_rap = T_ear + T_update, and broadcasts NEXT_FREE.
+func (s *Station) enterRAP(now sim.Time) {
+	s.inRAP = true
+	s.sat.RAPMutex = true
+	s.sat.RAPOwner = s.ID
+	s.roundsSinceRAP = 0
+	s.rapJoinReq = nil
+	s.ring.Metrics.RAPs++
+	s.ring.Journal.Record(int64(now), trace.RAPOpen, int64(s.ID), 0, "")
+
+	trap := s.ring.params.TRap()
+	// The RAP announcement silences the network. The paper announces the
+	// period "with a broadcast message"; we apply the pause network-wide in
+	// the same slot, which is the idealised version of that flooded
+	// announcement (see DESIGN.md substitutions).
+	s.ring.pauseUntil(now + sim.Time(trap))
+
+	s.ring.medium.Transmit(s.Node, radio.Broadcast, NextFreeFrame{
+		Sender:       s.ID,
+		SenderCode:   s.Code,
+		Next:         s.succ,
+		NextCode:     s.ring.codeOf(s.succ),
+		TEar:         s.ring.params.TEar,
+		MaxResources: s.ring.admissionHeadroom(),
+	})
+
+	s.ring.kernel.After(sim.Time(s.ring.params.TEar), sim.PrioAdmin, func() {
+		s.earEnd(s.ring.kernel.Now())
+	})
+	s.ring.kernel.After(sim.Time(trap), sim.PrioAdmin, func() {
+		s.rapEnd(s.ring.kernel.Now())
+	})
+}
+
+// earEnd closes the earing phase: if a join request was heard, admission is
+// decided and the answer transmitted on the requester's code.
+func (s *Station) earEnd(now sim.Time) {
+	if !s.active || !s.inRAP {
+		return
+	}
+	req := s.rapJoinReq
+	if req == nil {
+		return
+	}
+	accept := s.ring.admit(*req)
+	ack := JoinAckFrame{
+		Accept:   accept,
+		Pred:     s.ID,
+		Succ:     s.succ,
+		SuccCode: s.ring.codeOf(s.succ),
+		SatTime:  s.ring.satTime,
+	}
+	s.ring.medium.Transmit(s.Node, radio.Code(req.Code), ack)
+	if !accept {
+		s.ring.Metrics.JoinRejects++
+		s.rapJoinReq = nil
+	}
+}
+
+// rapEnd closes the update phase: an admitted station is wired into the
+// ring between the ingress station and its old successor, and normal
+// operation resumes.
+func (s *Station) rapEnd(now sim.Time) {
+	if !s.active || !s.inRAP {
+		return
+	}
+	s.inRAP = false
+	req := s.rapJoinReq
+	s.rapJoinReq = nil
+	if req == nil {
+		return
+	}
+	s.ring.completeJoin(s, *req, now)
+}
+
+// admissionHeadroom is the MaxResources field of NEXT_FREE: how much
+// additional per-rotation quota the network can still grant.
+func (r *Ring) admissionHeadroom() int64 {
+	if r.params.AdmitMaxSumLK <= 0 {
+		return 1 << 30
+	}
+	h := r.params.AdmitMaxSumLK - r.activeSumLK()
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// admit applies the admission rule: the insertion must not break the
+// guarantees already given (§2.4.1 "if the insertion may affect the
+// guarantees offered to the supported applications, the protocol has to
+// reject the request").
+func (r *Ring) admit(req JoinReqFrame) bool {
+	if req.L < 0 || req.K < 0 || req.L+req.K == 0 {
+		return false
+	}
+	if r.params.AdmitMaxStations > 0 && len(r.order) >= r.params.AdmitMaxStations {
+		return false
+	}
+	if r.params.AdmitMaxSumLK > 0 && r.activeSumLK()+int64(req.L+req.K) > r.params.AdmitMaxSumLK {
+		return false
+	}
+	if st, exists := r.stations[req.Addr]; exists && st.active {
+		return false // the ID is in use; exiled stations may reclaim theirs
+	}
+	if _, waiting := r.joiners[req.Addr]; !waiting {
+		return false // unknown physical station
+	}
+	return true
+}
+
+// completeJoin turns an admitted Joiner into a full ring member inserted
+// between the ingress station and its old successor.
+func (r *Ring) completeJoin(ingress *Station, req JoinReqFrame, now sim.Time) {
+	j, ok := r.joiners[req.Addr]
+	if !ok || !r.admit(req) {
+		return
+	}
+	delete(r.joiners, req.Addr)
+
+	oldSucc := ingress.succ
+	st := &Station{
+		ring:  r,
+		ID:    req.Addr,
+		Node:  j.Node,
+		Code:  j.Code,
+		Quota: j.Quota,
+		succ:  oldSucc,
+		pred:  ingress.ID,
+	}
+	st.active = true
+	if old, existed := r.stations[st.ID]; existed {
+		r.Metrics.Rejoins++ // an exiled station reclaiming its place
+		// The physical station is the same device: its traffic accounting
+		// carries across the exile/rejoin cycle.
+		st.Metrics = old.Metrics
+	}
+	r.stations[st.ID] = st
+	r.codes[st.ID] = st.Code
+	r.medium.SetReceiver(st.Node, st)
+	r.medium.Listen(st.Node, st.Code)
+
+	// Splice into the cyclic order right after the ingress station.
+	for i, id := range r.order {
+		if id == ingress.ID {
+			r.order = append(r.order[:i+1], append([]StationID{st.ID}, r.order[i+1:]...)...)
+			break
+		}
+	}
+	ingress.succ = st.ID
+	if osucc, ok := r.stations[oldSucc]; ok {
+		osucc.pred = st.ID
+	}
+	r.rebuildTickOrder()
+	r.updateAnchor()
+	r.recomputeSatTime()
+	r.resetRotationBaselines()
+
+	if !r.params.DisableRecovery {
+		st.armSATTimer(now)
+	}
+	j.joinedAt = now
+	j.state = joinerJoined
+	r.Metrics.Joins++
+	r.Journal.Record(int64(now), trace.JoinDone, int64(st.ID), int64(ingress.ID), "")
+	r.Metrics.JoinEvents = append(r.Metrics.JoinEvents, JoinEvent{
+		Station:   st.ID,
+		Ingress:   ingress.ID,
+		StartedAt: j.startedAt,
+		JoinedAt:  now,
+	})
+	if j.OnJoined != nil {
+		j.OnJoined(st)
+	}
+}
+
+type joinerState int
+
+const (
+	joinerListening joinerState = iota
+	joinerRequested
+	joinerJoined
+	joinerGivenUp
+)
+
+// Joiner is the requesting-station state machine of §2.4.1: it monitors the
+// broadcast channel, builds the table of NEXT_FREE senders, and when it has
+// heard two consecutive ring stations it answers the first station's
+// NEXT_FREE with a join request on that station's code.
+type Joiner struct {
+	ring  *Ring
+	ID    StationID
+	Node  radio.NodeID
+	Code  radio.Code
+	Quota Quota
+
+	// MaxAttempts bounds how many NEXT_FREE opportunities the joiner tries
+	// before giving up (0 = forever).
+	MaxAttempts int
+
+	// OnJoined, when set, is invoked with the newly created Station once
+	// the join completes (used by scenarios to attach traffic sources).
+	OnJoined func(*Station)
+
+	state     joinerState
+	heard     map[StationID]NextFreeFrame
+	attempts  int
+	startedAt sim.Time
+	joinedAt  sim.Time
+	rng       *sim.RNG
+	ackWait   sim.Handle
+}
+
+// NewJoiner registers a prospective station with the ring scenario. The
+// station's CDMA code is part of its identity, per the paper's assumption
+// that codes are assigned when stations are provisioned.
+func (r *Ring) NewJoiner(id StationID, node radio.NodeID, code radio.Code, q Quota) *Joiner {
+	j := &Joiner{
+		ring:      r,
+		ID:        id,
+		Node:      node,
+		Code:      code,
+		Quota:     q,
+		heard:     map[StationID]NextFreeFrame{},
+		startedAt: r.kernel.Now(),
+		rng:       r.rng.Split(),
+	}
+	r.joiners[id] = j
+	r.medium.SetReceiver(node, j)
+	r.medium.Listen(node, code)
+	return j
+}
+
+// State reports the joiner's lifecycle phase as a string (for tests/logs).
+func (j *Joiner) State() string {
+	switch j.state {
+	case joinerListening:
+		return "listening"
+	case joinerRequested:
+		return "requested"
+	case joinerJoined:
+		return "joined"
+	default:
+		return "given-up"
+	}
+}
+
+// Joined reports whether the joiner became a ring member.
+func (j *Joiner) Joined() bool { return j.state == joinerJoined }
+
+// JoinLatency returns the slots between registration and membership
+// (0 if not joined yet).
+func (j *Joiner) JoinLatency() int64 {
+	if j.state != joinerJoined {
+		return 0
+	}
+	return int64(j.joinedAt - j.startedAt)
+}
+
+// OnReceive implements radio.Receiver for the joiner.
+func (j *Joiner) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) {
+	switch f := frame.(type) {
+	case NextFreeFrame:
+		j.onNextFree(f)
+	case JoinAckFrame:
+		if code != j.Code || j.state != joinerRequested {
+			return
+		}
+		j.ackWait.Cancel()
+		if f.Accept {
+			// Ring membership is finalised by the ingress station at the
+			// end of the update phase (completeJoin); nothing to do but
+			// wait for it.
+			return
+		}
+		j.state = joinerListening
+	}
+}
+
+// OnCollision implements radio.Receiver for the joiner.
+func (j *Joiner) OnCollision(code radio.Code) {}
+
+// onNextFree implements the requesting-station algorithm: record the
+// sender; if the sender's announced successor has also been heard (so both
+// are reachable over one hop), answer with a join request on the sender's
+// code after a small random backoff that desynchronises competing joiners.
+func (j *Joiner) onNextFree(f NextFreeFrame) {
+	if j.state == joinerJoined || j.state == joinerGivenUp {
+		return
+	}
+	j.heard[f.Sender] = f
+	if j.state != joinerListening {
+		return
+	}
+	if _, reachableNext := j.heard[f.Next]; !reachableNext {
+		return
+	}
+	if int64(j.Quota.L+j.Quota.K()) > f.MaxResources {
+		return // pre-check: the network cannot grant our quota
+	}
+	if j.MaxAttempts > 0 && j.attempts >= j.MaxAttempts {
+		j.state = joinerGivenUp
+		return
+	}
+	j.attempts++
+	j.state = joinerRequested
+	backoff := sim.Time(1 + j.rng.Intn(4))
+	req := JoinReqFrame{Addr: j.ID, Code: j.Code, L: j.Quota.L, K: j.Quota.K()}
+	target := f.SenderCode
+	j.ring.kernel.After(backoff, sim.PrioAdmin, func() {
+		if j.state != joinerRequested {
+			return
+		}
+		j.ring.medium.Transmit(j.Node, target, req)
+	})
+	// If no acceptance materialises within T_ear, go back to listening and
+	// wait for the next NEXT_FREE (§2.4.1).
+	j.ackWait.Cancel()
+	j.ackWait = j.ring.kernel.After(sim.Time(f.TEar)+4, sim.PrioAdmin, func() {
+		if j.state == joinerRequested {
+			j.state = joinerListening
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func rapParams() Params {
+	return Params{EnableRAP: true, TEar: 12, TUpdate: 4}
+}
+
+func TestJoinViaRAP(t *testing.T) {
+	n := 6
+	kern, med, ring := buildRing(t, n, 2, 2, rapParams(), 10)
+	kern.Run(50)
+
+	// Drop a newcomer near stations 2 and 3 (consecutive in ring order):
+	// midway between them, comfortably within range of both.
+	p2 := med.PositionOf(ring.Station(2).Node)
+	p3 := med.PositionOf(ring.Station(3).Node)
+	mid := radio.Position{X: (p2.X + p3.X) / 2, Y: (p2.Y + p3.Y) / 2}
+	node := med.AddNode(mid, med.RangeOf(ring.Station(0).Node), nil)
+	j := ring.NewJoiner(100, node, radio.Code(100), Quota{L: 1, K1: 1})
+
+	// The joiner needs to hear NEXT_FREE from both 2 and 3: up to N RAPs,
+	// each taking one SAT round plus T_rap. Give it ample time.
+	kern.Run(kern.Now() + sim.Time(4*int64(n)*ring.SatTime()))
+	if !j.Joined() {
+		t.Fatalf("joiner state=%s after ample time (RAPs=%d)", j.State(), ring.Metrics.RAPs)
+	}
+	if got := ring.N(); got != n+1 {
+		t.Fatalf("ring size = %d, want %d", got, n+1)
+	}
+	if j.JoinLatency() <= 0 {
+		t.Fatalf("join latency = %d", j.JoinLatency())
+	}
+
+	// The new station is a full member: it can send and receive.
+	st := ring.Station(100)
+	if st == nil || !st.Active() {
+		t.Fatalf("joined station missing or inactive")
+	}
+	st.Enqueue(Packet{Dst: 0, Class: Premium})
+	ring.Station(0).Enqueue(Packet{Dst: 100, Class: Premium})
+	before := ring.Metrics.Delivered[Premium]
+	kern.Run(kern.Now() + sim.Time(3*ring.SatTime()))
+	if ring.Metrics.Delivered[Premium] != before+2 {
+		t.Fatalf("traffic to/from joined station not delivered: %d -> %d",
+			before, ring.Metrics.Delivered[Premium])
+	}
+	// The SAT keeps rotating with the new member counted in the bound.
+	pp := ring.Params()
+	want := int64(n+1) + pp.TRap() + 2*ring.activeSumLK()
+	if ring.SatTime() != want {
+		t.Fatalf("SAT_TIME after join = %d, want %d", ring.SatTime(), want)
+	}
+}
+
+func TestJoinRejectedByAdmission(t *testing.T) {
+	n := 6
+	params := rapParams()
+	params.AdmitMaxStations = n // ring is full
+	kern, med, ring := buildRing(t, n, 2, 2, params, 11)
+	kern.Run(50)
+
+	p2 := med.PositionOf(ring.Station(2).Node)
+	p3 := med.PositionOf(ring.Station(3).Node)
+	mid := radio.Position{X: (p2.X + p3.X) / 2, Y: (p2.Y + p3.Y) / 2}
+	node := med.AddNode(mid, med.RangeOf(ring.Station(0).Node), nil)
+	j := ring.NewJoiner(100, node, radio.Code(100), Quota{L: 1, K1: 1})
+
+	kern.Run(kern.Now() + sim.Time(4*int64(n)*ring.SatTime()))
+	if j.Joined() {
+		t.Fatalf("joiner admitted despite full ring")
+	}
+	if ring.Metrics.JoinRejects == 0 {
+		t.Fatalf("no rejection recorded")
+	}
+	if got := ring.N(); got != n {
+		t.Fatalf("ring size = %d, want %d", got, n)
+	}
+}
+
+func TestJoinerOutOfRangeNeverJoins(t *testing.T) {
+	n := 6
+	kern, med, ring := buildRing(t, n, 2, 2, rapParams(), 12)
+	// Far away: hears nobody.
+	node := med.AddNode(radio.Position{X: 10000, Y: 10000}, 10, nil)
+	j := ring.NewJoiner(100, node, radio.Code(100), Quota{L: 1, K1: 1})
+	kern.Run(sim.Time(4 * int64(n) * ring.SatTime()))
+	if j.Joined() {
+		t.Fatalf("unreachable joiner joined")
+	}
+	if j.State() != "listening" {
+		t.Fatalf("state=%s, want listening", j.State())
+	}
+}
+
+func TestRAPMutexOnePerRound(t *testing.T) {
+	// With RAP enabled and all stations eligible, at most one RAP happens
+	// per SAT rotation: RAPs <= Rounds (plus one for the round under way).
+	kern, _, ring := buildRing(t, 6, 2, 2, rapParams(), 13)
+	kern.Run(5000)
+	if ring.Metrics.RAPs > ring.Metrics.Rounds+1 {
+		t.Fatalf("RAPs=%d exceeds rounds=%d", ring.Metrics.RAPs, ring.Metrics.Rounds)
+	}
+	if ring.Metrics.RAPs == 0 {
+		t.Fatalf("no RAPs despite EnableRAP")
+	}
+}
+
+func TestJoinPreservesQoSForExistingStations(t *testing.T) {
+	// E10 core property: Premium packets of existing members keep meeting
+	// the Theorem-3 bound while joins happen.
+	n := 6
+	kern, med, ring := buildRing(t, n, 2, 2, rapParams(), 14)
+
+	// Steady Premium traffic at station 0.
+	stop := sim.Time(6000)
+	var enq func()
+	enq = func() {
+		if kern.Now() >= stop {
+			return
+		}
+		ring.Station(0).Enqueue(Packet{Dst: 3, Class: Premium, Tagged: true})
+		kern.After(25, sim.PrioTraffic, enq)
+	}
+	kern.At(1, sim.PrioTraffic, enq)
+
+	p4 := med.PositionOf(ring.Station(4).Node)
+	p5 := med.PositionOf(ring.Station(5).Node)
+	mid := radio.Position{X: (p4.X + p5.X) / 2, Y: (p4.Y + p5.Y) / 2}
+	node := med.AddNode(mid, med.RangeOf(ring.Station(0).Node), nil)
+	j := ring.NewJoiner(100, node, radio.Code(100), Quota{L: 1, K1: 1})
+
+	kern.Run(stop)
+	if !j.Joined() {
+		t.Fatalf("join did not complete")
+	}
+	if len(ring.Tagged) == 0 {
+		t.Fatalf("no tagged samples")
+	}
+	for _, s := range ring.Tagged {
+		if s.Wait > s.Bound {
+			t.Fatalf("Theorem-3 violation during churn: wait=%d bound=%d x=%d", s.Wait, s.Bound, s.X)
+		}
+	}
+}

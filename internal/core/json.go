@@ -1,0 +1,24 @@
+package core
+
+import "fmt"
+
+// MarshalJSON renders the class as its canonical name, keeping scenario
+// files human-readable.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the canonical class names.
+func (c *Class) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"premium"`:
+		*c = Premium
+	case `"assured"`:
+		*c = Assured
+	case `"best-effort"`, `"besteffort"`:
+		*c = BestEffort
+	default:
+		return fmt.Errorf("core: unknown class %s", b)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/stats"
+)
+
+// StationMetrics aggregates per-station measurements.
+type StationMetrics struct {
+	// Traffic accounting per class.
+	Offered   [numClasses]int64
+	Sent      [numClasses]int64
+	Delivered [numClasses]int64
+
+	// Wait is the queueing delay from enqueue to slot insertion — the
+	// network access time the paper bounds in Theorem 3.
+	Wait [numClasses]stats.Welford
+	// Delay is end-to-end: enqueue to delivery at the destination.
+	Delay [numClasses]stats.Welford
+
+	// Rotation samples the SAT inter-arrival time at this station.
+	Rotation stats.Welford
+	// SatHold samples how long the station seized the SAT per visit.
+	SatHold stats.Welford
+
+	Deadlines stats.Deadline
+
+	// Anomaly and robustness counters.
+	SlotsRegenerated    int64
+	SlotsCorrupted      int64
+	SlotCollisions      int64
+	DupFrames           int64
+	DuplicateSAT        int64
+	FalseAlarms         int64
+	RecDropped          int64
+	RecoveriesStarted   int64
+	Splices             int64
+	LeavesObserved      int64
+	ReturnedUndelivered int64
+	OrphansFreed        int64
+	SlotsScrubbed       int64
+	Exiled              int64
+}
+
+// RecoveryEvent records one completed recovery (splice or re-formation).
+type RecoveryEvent struct {
+	Kind       string // "splice" or "reform"
+	Failed     StationID
+	DetectedAt sim.Time
+	HealedAt   sim.Time
+}
+
+// HealSlots is the recovery duration in slots.
+func (e RecoveryEvent) HealSlots() int64 { return int64(e.HealedAt - e.DetectedAt) }
+
+// JoinEvent records one completed join.
+type JoinEvent struct {
+	Station   StationID
+	Ingress   StationID
+	StartedAt sim.Time
+	JoinedAt  sim.Time
+}
+
+// Latency is the slots from registration to ring membership.
+func (e JoinEvent) Latency() int64 { return int64(e.JoinedAt - e.StartedAt) }
+
+// RingMetrics aggregates network-wide measurements.
+type RingMetrics struct {
+	Rotation    stats.Welford
+	MaxRotation int64
+	Rounds      int64
+
+	Delivered [numClasses]int64
+	Delay     [numClasses]stats.Welford
+
+	// SlotHops counts slot transmissions (one per station per slot);
+	// BusyHops counts those carrying a packet. Their ratio is the ring
+	// utilisation, and BusyHops/Delivered is the mean hop distance —
+	// the spatial-reuse accounting behind the capacity comparison.
+	SlotHops int64
+	BusyHops int64
+
+	RAPs                 int64
+	Joins                int64
+	JoinRejects          int64
+	QuotaRedistributions int64
+
+	Kills             int64
+	Exiles            int64
+	Rejoins           int64
+	Detections        int64
+	Splices           int64
+	SpliceFailures    int64
+	Reformations      int64
+	FalseAlarms       int64
+	DuplicateSAT      int64
+	SATInjectedLosses int64
+	DetectLatency     stats.Welford
+	HealLatency       stats.Welford
+
+	RecoveryEvents []RecoveryEvent
+	JoinEvents     []JoinEvent
+
+	Dead        bool
+	DeathReason string
+}
+
+// TotalDelivered sums deliveries across classes.
+func (m *RingMetrics) TotalDelivered() int64 {
+	var t int64
+	for _, d := range m.Delivered {
+		t += d
+	}
+	return t
+}
+
+// Throughput returns delivered packets per slot over the given horizon.
+func (m *RingMetrics) Throughput(slots int64) float64 {
+	if slots <= 0 {
+		return 0
+	}
+	return float64(m.TotalDelivered()) / float64(slots)
+}
+
+// Utilization returns the fraction of slot-hops that carried a packet.
+func (m *RingMetrics) Utilization() float64 {
+	if m.SlotHops == 0 {
+		return 0
+	}
+	return float64(m.BusyHops) / float64(m.SlotHops)
+}
+
+// MeanHopDistance returns the average ring hops travelled per delivered
+// packet (destination removal; includes the insertion hop).
+func (m *RingMetrics) MeanHopDistance() float64 {
+	d := m.TotalDelivered()
+	if d == 0 {
+		return 0
+	}
+	return float64(m.BusyHops) / float64(d)
+}
+
+// Summary renders a compact human-readable report.
+func (m *RingMetrics) Summary(slots int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d rotation{%s} max=%d\n", m.Rounds, m.Rotation.String(), m.MaxRotation)
+	for c := Premium; c < numClasses; c++ {
+		fmt.Fprintf(&b, "%-12s delivered=%-8d delay{%s}\n", c.String(), m.Delivered[c], m.Delay[c].String())
+	}
+	fmt.Fprintf(&b, "throughput=%.4f pkt/slot raps=%d joins=%d rejects=%d\n",
+		m.Throughput(slots), m.RAPs, m.Joins, m.JoinRejects)
+	fmt.Fprintf(&b, "recovery: detections=%d splices=%d reforms=%d falseAlarms=%d detect{%s} heal{%s}\n",
+		m.Detections, m.Splices, m.Reformations, m.FalseAlarms, m.DetectLatency.String(), m.HealLatency.String())
+	if m.Dead {
+		fmt.Fprintf(&b, "RING DEAD: %s\n", m.DeathReason)
+	}
+	return b.String()
+}

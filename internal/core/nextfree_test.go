@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// nextFreeProbe records NEXT_FREE broadcasts without ever joining.
+type nextFreeProbe struct {
+	arrivals map[StationID][]sim.Time
+	kernel   *sim.Kernel
+}
+
+func (p *nextFreeProbe) OnReceive(code radio.Code, f radio.Frame, from radio.NodeID) {
+	if nf, ok := f.(NextFreeFrame); ok {
+		p.arrivals[nf.Sender] = append(p.arrivals[nf.Sender], p.kernel.Now())
+	}
+}
+func (p *nextFreeProbe) OnCollision(radio.Code) {}
+
+// TestNextFreeIntervalMatchesFootnote2 checks the paper's footnote 2: "the
+// time that elapses between two consecutive NEXT_FREE messages [from the
+// same station] is equal to S_round · SAT_TIME" — the quantity a
+// requesting station uses to know when it has heard every ingress station.
+// SAT_TIME there is the rotation time, so on a lightly loaded ring the
+// interval is close to S_round rotations and always under S_round times the
+// Theorem-1 bound.
+func TestNextFreeIntervalMatchesFootnote2(t *testing.T) {
+	n := 6
+	params := rapParams()
+	params.SRound = n // the paper's minimum
+	kern, med, ring := buildRing(t, n, 2, 2, params, 200)
+
+	probe := &nextFreeProbe{arrivals: map[StationID][]sim.Time{}, kernel: kern}
+	// A listening-only node near the ring.
+	center := radio.Position{X: 50, Y: 50}
+	med.AddNode(center, 200, probe)
+
+	kern.Run(60_000)
+
+	meanRotation := ring.Metrics.Rotation.Mean()
+	bound := float64(params.SRound) * float64(ring.SatTime())
+	checked := 0
+	for sender, times := range probe.arrivals {
+		for i := 1; i < len(times); i++ {
+			gap := float64(times[i] - times[i-1])
+			// Lower bound: S_round rotations must elapse before the same
+			// station is eligible again (mutex may delay it further).
+			if gap < float64(params.SRound)*meanRotation*0.9 {
+				t.Fatalf("station %d: NEXT_FREE gap %.0f below S_round rotations (%.0f)",
+					sender, gap, float64(params.SRound)*meanRotation)
+			}
+			if gap > bound {
+				t.Fatalf("station %d: NEXT_FREE gap %.0f above S_round·SAT_TIME=%.0f",
+					sender, gap, bound)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few NEXT_FREE intervals observed: %d", checked)
+	}
+	// Every ring member takes its turn as ingress (no central entity).
+	if len(probe.arrivals) != n {
+		t.Fatalf("only %d of %d stations ever opened a RAP", len(probe.arrivals), n)
+	}
+}
+
+// TestNextFreeContents verifies the §2.4.1 message fields: sender and its
+// successor with both codes, the earing window, and the resource headroom.
+func TestNextFreeContents(t *testing.T) {
+	n := 6
+	params := rapParams()
+	params.AdmitMaxSumLK = 40
+	kern, med, ring := buildRing(t, n, 2, 2, params, 201)
+
+	var got []NextFreeFrame
+	probe := &frameProbe{on: func(f radio.Frame) {
+		if nf, ok := f.(NextFreeFrame); ok {
+			got = append(got, nf)
+		}
+	}}
+	med.AddNode(radio.Position{X: 50, Y: 50}, 200, probe)
+	kern.Run(2000)
+
+	if len(got) == 0 {
+		t.Fatal("no NEXT_FREE observed")
+	}
+	for _, nf := range got {
+		st := ring.Station(nf.Sender)
+		if st == nil {
+			t.Fatalf("NEXT_FREE from unknown station %d", nf.Sender)
+		}
+		if nf.Next != st.Succ() {
+			t.Fatalf("announced successor %d, actual %d", nf.Next, st.Succ())
+		}
+		if nf.SenderCode != st.Code {
+			t.Fatalf("announced code %d, actual %d", nf.SenderCode, st.Code)
+		}
+		if nf.TEar != params.TEar {
+			t.Fatalf("announced T_ear %d, configured %d", nf.TEar, params.TEar)
+		}
+		// Headroom = cap − current Σ(l+k) = 40 − 24 = 16.
+		if nf.MaxResources != 16 {
+			t.Fatalf("announced headroom %d, want 16", nf.MaxResources)
+		}
+	}
+}
+
+type frameProbe struct{ on func(radio.Frame) }
+
+func (p *frameProbe) OnReceive(code radio.Code, f radio.Frame, from radio.NodeID) { p.on(f) }
+func (p *frameProbe) OnCollision(radio.Code)                                      {}

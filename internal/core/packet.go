@@ -1,0 +1,103 @@
+// Package core implements the WRT-Ring MAC protocol — the paper's primary
+// contribution: a slotted virtual ring over CDMA radio in which a SAT
+// control signal grants every station a per-rotation quota of l real-time
+// and k best-effort packet transmissions, giving a provable bound on the
+// network access time (§2.6) while supporting topology changes (§2.4) and
+// SAT-loss recovery (§2.5).
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// Class is the service class of a packet, mapping the Diffserv classes of
+// §2.3 onto the WRT-Ring quotas: Premium consumes the guaranteed l quota,
+// Assured the k1 sub-quota and BestEffort the k2 sub-quota.
+type Class int
+
+// Service classes.
+const (
+	// Premium is real-time traffic with full timing guarantees (l quota).
+	Premium Class = iota
+	// Assured has no guarantees but priority over best-effort (k1 quota).
+	Assured
+	// BestEffort has no guarantees and lowest priority (k2 quota).
+	BestEffort
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Premium:
+		return "premium"
+	case Assured:
+		return "assured"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// RealTime reports whether the class uses the real-time (l) quota.
+func (c Class) RealTime() bool { return c == Premium }
+
+// StationID identifies a station at the MAC layer. It is stable across
+// joins, leaves and ring re-formations.
+type StationID int
+
+// Packet is one fixed-size MAC payload: it occupies exactly one slot, per
+// the paper's normalisation of all quantities to the slot duration.
+type Packet struct {
+	Src, Dst StationID
+	Class    Class
+	Seq      int64
+	// Enqueued is when the packet entered the station queue.
+	Enqueued sim.Time
+	// Deadline, when > 0, is the relative delay bound the application
+	// attached (in slots since Enqueued).
+	Deadline int64
+	// Tagged marks packets whose wait is being checked against Theorem 3.
+	Tagged bool
+	// AheadOnArrival records how many same-class packets were queued ahead
+	// of this one at enqueue time (the "x" of Theorem 3).
+	AheadOnArrival int
+	// Copied marks that the destination copied the packet (source-removal
+	// policy only: the slot stays busy until it returns to the source).
+	Copied bool
+	// Ext is an opaque extension field for overlays — the Diffserv gateway
+	// uses it to carry the final LAN-side address across the ring.
+	Ext int64
+}
+
+// fifo is a slice-backed FIFO queue of packets with an amortised-O(1) pop.
+type fifo struct {
+	buf  []Packet
+	head int
+}
+
+func (q *fifo) Len() int { return len(q.buf) - q.head }
+
+func (q *fifo) Push(p Packet) { q.buf = append(q.buf, p) }
+
+func (q *fifo) Pop() Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = Packet{}
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *fifo) Peek() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// This file implements §2.5 (SAT loss) and §2.4.2 (a station leaves the
+// ring): SAT_TIMER expiry, the SAT_REC splice that cuts the failed station
+// out of the ring, the Chang–Roberts election that collapses concurrent
+// recoveries into one, and the fallback full ring re-formation when the
+// splice is physically impossible (hidden terminals).
+
+// Leave makes the station depart the ring voluntarily (§2.4.2): it waits
+// until it does not hold the SAT, announces the departure to its successor
+// on the next frame, and powers off.
+func (s *Station) Leave() {
+	if !s.active {
+		return
+	}
+	if s.hasSAT {
+		s.wantLeave = true
+		return
+	}
+	s.wantLeave = false
+	s.satTimer.Cancel()
+	s.pendingLeave = &LeaveInfo{Leaver: s.ID}
+}
+
+// handleLeave runs at the leaver's successor: per the paper it behaves as if
+// the SAT had been lost at the leaver, sending SAT_REC *instead of* the next
+// SAT it receives.
+func (s *Station) handleLeave(l *LeaveInfo) {
+	s.Metrics.LeavesObserved++
+	s.replaceWithRec = l
+	// If the SAT never arrives (it was upstream of the leaver and died with
+	// it), the normal SAT_TIMER path takes over.
+}
+
+// onSATTimeout fires when the SAT has not returned within SAT_TIME (§2.5).
+func (s *Station) onSATTimeout(now sim.Time) {
+	if !s.active || s.hasSAT || s.ring.dead {
+		return
+	}
+	if s.ring.paused(now) {
+		// A re-formation or RAP is in progress; re-arm and wait it out.
+		s.armSATTimer(now)
+		return
+	}
+	if s.recOutstanding != nil {
+		return // already recovering
+	}
+	s.ring.Metrics.Detections++
+	s.ring.Journal.Record(int64(now), trace.SATLost, int64(s.ID), int64(now-s.lastSATArrival), "")
+	if s.ring.satLostAt >= 0 {
+		s.ring.Metrics.DetectLatency.Add(float64(now - s.ring.satLostAt))
+	}
+	if s.ring.params.DisableRecovery {
+		return
+	}
+	if s.ring.params.DisableSplice {
+		s.ring.reform(s.ID, now)
+		return
+	}
+	s.startRecovery(s.pred, now)
+}
+
+// startRecovery originates a SAT_REC naming failed as the presumed-dead
+// station; s (its ring successor) is the splice target (§2.5).
+func (s *Station) startRecovery(failed StationID, now sim.Time) {
+	rec := &SatRecInfo{Origin: s.ID, Failed: failed, FailedNext: s.ID, DetectedAt: int64(now)}
+	s.ring.Journal.Record(int64(now), trace.RecStart, int64(s.ID), int64(failed), "")
+	s.recOutstanding = rec
+	s.recDetectedAt = now
+	s.pendingRec = rec
+	s.Metrics.RecoveriesStarted++
+	// "If station i+1 does not receive the SAT_REC within SAT_TIME_{i+1},
+	// the previous ring is no longer valid."
+	s.recDeadline.Cancel()
+	s.recDeadline = s.ring.kernel.After(sim.Time(s.ring.satTime), sim.PrioTimer, func() {
+		s.onRecTimeout(s.ring.kernel.Now())
+	})
+}
+
+// handleSatRec processes a received SAT_REC.
+func (s *Station) handleSatRec(rec *SatRecInfo, now sim.Time) {
+	// A SAT_REC resets the local timer just like a SAT would: the ring is
+	// demonstrably alive upstream.
+	if !s.ring.params.DisableRecovery {
+		s.armSATTimer(now)
+	}
+
+	// If a recovery for "our" leaver is already under way, the pending
+	// SAT-to-SAT_REC conversion (§2.4.2) is moot.
+	if s.replaceWithRec != nil && s.replaceWithRec.Leaver == rec.Failed {
+		s.replaceWithRec = nil
+	}
+
+	if rec.Origin == s.ID {
+		if s.recOutstanding != nil && rec.DetectedAt == s.recOutstanding.DetectedAt {
+			// Our SAT_REC made it all the way around: the ring is healed
+			// without the failed station; substitute the SAT_REC with a
+			// fresh SAT (§2.5).
+			s.completeRecovery(rec, now)
+		} else {
+			// A stale copy of a recovery we already abandoned.
+			s.Metrics.RecDropped++
+		}
+		return
+	}
+
+	if s.hasSAT {
+		// The real SAT is here, so the recovery that spawned this SAT_REC
+		// was a false alarm; swallow it.
+		s.Metrics.RecDropped++
+		s.ring.Metrics.FalseAlarms++
+		return
+	}
+
+	if s.recOutstanding != nil {
+		// Two concurrent recoveries: elect by earliest detection (the
+		// failed station's true successor always detects first), so
+		// exactly one SAT_REC survives the loop.
+		if rec.beats(s.recOutstanding) {
+			s.recOutstanding = nil
+			s.recDeadline.Cancel()
+		} else {
+			s.Metrics.RecDropped++
+			return
+		}
+	}
+	if s.lastForwardedRec != nil && s.lastForwardedRec.beats(rec) &&
+		int64(now-s.lastForwardedAt) < s.ring.satTime {
+		// We recently relayed a stronger recovery; this one already lost
+		// the election somewhere upstream.
+		s.Metrics.RecDropped++
+		return
+	}
+
+	// The failed station's predecessor performs the splice: from now on it
+	// transmits with the failed station's successor's code, cutting the
+	// failed station out (§2.5: "station i−1 ... sends it with the code
+	// i+1").
+	if s.succ == rec.Failed && rec.FailedNext != s.ID {
+		s.succ = rec.FailedNext
+		s.Metrics.Splices++
+		// If the presumed-failed station is actually alive (pure SAT
+		// loss), it must fall silent before the SAT_REC crosses the
+		// bypass hop, or its transmissions collide with it. Tell it on
+		// its own code and hold the SAT_REC for one slot.
+		s.ring.medium.Transmit(s.Node, s.ring.codeOf(rec.Failed), CutInfo{Failed: rec.Failed})
+		s.pendingRecDelay = 1
+	}
+	s.lastForwardedRec = rec
+	s.lastForwardedAt = now
+	s.pendingRec = rec
+}
+
+// completeRecovery runs at the SAT_REC originator when its signal returns.
+func (s *Station) completeRecovery(rec *SatRecInfo, now sim.Time) {
+	s.recOutstanding = nil
+	s.recDeadline.Cancel()
+	s.ring.Metrics.Splices++
+	s.ring.Metrics.HealLatency.Add(float64(now - s.recDetectedAt))
+	s.ring.Journal.Record(int64(now), trace.RecHeal, int64(s.ID), int64(now-s.recDetectedAt), "")
+	s.ring.Metrics.RecoveryEvents = append(s.ring.Metrics.RecoveryEvents, RecoveryEvent{
+		Kind:       "splice",
+		Failed:     rec.Failed,
+		DetectedAt: s.recDetectedAt,
+		HealedAt:   now,
+	})
+	failedQuota := Quota{}
+	if st, ok := s.ring.stations[rec.Failed]; ok {
+		failedQuota = st.Quota
+	}
+	s.ring.removeFromOrder(rec.Failed)
+	// The failed station's quota either disappears from the bound or, with
+	// RedistributeQuota, is re-assigned to the survivors (§2.5), keeping
+	// Σ(l+k) constant.
+	if s.ring.params.RedistributeQuota {
+		s.ring.redistribute(failedQuota)
+	}
+	s.ring.recomputeSatTime()
+	s.ring.resetRotationBaselines()
+	// Substitute the SAT_REC with the SAT.
+	s.hasSAT = true
+	s.sat = &SatInfo{Rounds: s.ring.Metrics.Rounds}
+	s.satSeizedAt = now
+	s.seenSAT = true
+	s.lastSATArrival = now
+	s.ring.satLostAt = -1
+}
+
+// onRecTimeout fires when the SAT_REC did not complete a loop within
+// SAT_TIME: the splice is impossible (for instance the failed station's
+// predecessor cannot physically reach its successor), so the station
+// broadcasts that the ring is lost and a new ring is formed (§2.5).
+func (s *Station) onRecTimeout(now sim.Time) {
+	if !s.active || s.recOutstanding == nil || s.ring.dead {
+		return
+	}
+	s.recOutstanding = nil
+	s.ring.Metrics.SpliceFailures++
+	s.ring.medium.Transmit(s.Node, radio.Broadcast, RingLostFrame{Reporter: s.ID, Epoch: s.ring.epoch})
+	s.ring.reform(s.ID, now)
+}
+
+// onRingLost reacts to a RING_LOST broadcast: stations stop normal
+// operation and take part in the re-formation. The re-formation itself is
+// coordinated by the ring object (see reform).
+func (r *Ring) onRingLost(f RingLostFrame) {
+	if f.Epoch != r.epoch || r.dead {
+		return
+	}
+	// reform() is idempotent per epoch: the first caller does the work.
+	r.reform(f.Reporter, r.kernel.Now())
+}

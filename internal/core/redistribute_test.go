@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func TestQuotaRedistributionKeepsBound(t *testing.T) {
+	n := 8
+	kern, _, ring := buildRing(t, n, 2, 2, Params{RedistributeQuota: true}, 80)
+	sumBefore := ring.activeSumLK()
+	kern.Run(200)
+	ring.KillStation(5)
+	kern.Run(200 + sim.Time(4*ring.SatTime()))
+	if ring.Metrics.Splices == 0 {
+		t.Fatalf("no splice: %+v", ring.Metrics)
+	}
+	if ring.Metrics.QuotaRedistributions != 1 {
+		t.Fatalf("redistributions = %d", ring.Metrics.QuotaRedistributions)
+	}
+	// Σ(l+k) unchanged despite one fewer member; the bound shrinks only by
+	// the ring-latency term (S drops from 8 to 7).
+	if got := ring.activeSumLK(); got != sumBefore {
+		t.Fatalf("sum l+k = %d, want %d", got, sumBefore)
+	}
+	// The dead member's quota (l=2, k1=1, k2=1) went to four survivors.
+	raised := 0
+	for _, id := range ring.Order() {
+		q := ring.Station(id).Quota
+		if q.L+q.K() > 4 {
+			raised++
+		}
+	}
+	if raised == 0 {
+		t.Fatal("no survivor received extra quota")
+	}
+	// The enlarged quotas are actually usable: a survivor with l=3 can
+	// send 3 premium per rotation.
+	var boosted *Station
+	for _, id := range ring.Order() {
+		if ring.Station(id).Quota.L == 3 {
+			boosted = ring.Station(id)
+			break
+		}
+	}
+	if boosted == nil {
+		t.Fatal("no station got the extra l")
+	}
+	for p := 0; p < 300; p++ {
+		boosted.Enqueue(Packet{Dst: boosted.Succ(), Class: Premium})
+	}
+	r0 := ring.Metrics.Rounds
+	s0 := boosted.Metrics.Sent[Premium]
+	kern.Run(kern.Now() + 600)
+	rounds := ring.Metrics.Rounds - r0
+	sent := boosted.Metrics.Sent[Premium] - s0
+	if sent < (rounds-1)*3 {
+		t.Fatalf("boosted station sent %d in %d rounds with l=3", sent, rounds)
+	}
+}
+
+func TestNoRedistributionByDefault(t *testing.T) {
+	n := 8
+	kern, _, ring := buildRing(t, n, 2, 2, Params{}, 81)
+	sumBefore := ring.activeSumLK()
+	kern.Run(200)
+	ring.KillStation(5)
+	kern.Run(200 + sim.Time(4*ring.SatTime()))
+	if got := ring.activeSumLK(); got != sumBefore-4 {
+		t.Fatalf("sum l+k = %d, want %d (dead member's quota must lapse)", got, sumBefore-4)
+	}
+	if ring.Metrics.QuotaRedistributions != 0 {
+		t.Fatal("redistribution ran without the flag")
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rtnet/wrtring/internal/analysis"
+	"github.com/rtnet/wrtring/internal/codes"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// Member describes one founding station of a WRT-Ring network.
+type Member struct {
+	ID    StationID
+	Node  radio.NodeID
+	Code  radio.Code
+	Quota Quota
+}
+
+// Ring is a running WRT-Ring network: the set of stations, the cyclic
+// order, the SAT bookkeeping, and the network-wide metrics.
+type Ring struct {
+	kernel *sim.Kernel
+	medium *radio.Medium
+	rng    *sim.RNG
+	params Params
+
+	stations  map[StationID]*Station
+	joiners   map[StationID]*Joiner
+	codes     map[StationID]radio.Code
+	order     []StationID // current cyclic order, order[0]'s successor is order[1]
+	tickOrder []*Station  // deterministic iteration order (ascending ID)
+	anchor    StationID   // lowest active ID; increments SAT round counter
+
+	satTime     int64 // current SAT_TIME bound used by all timers
+	pausedUntil sim.Time
+	dead        bool
+	epoch       int64
+	started     bool
+
+	// Fault injection.
+	dropNextSAT bool
+	satLostAt   sim.Time
+
+	// OnDeliver, when set, observes every delivered packet.
+	OnDeliver func(Packet, sim.Time)
+
+	// Journal, when set, receives structured protocol events (nil-safe).
+	Journal *trace.Recorder
+
+	Metrics RingMetrics
+	// Tagged collects Theorem-3 probe samples (see TagNextPacket).
+	Tagged []TaggedSample
+}
+
+// New builds a WRT-Ring over already-placed radio nodes. members must be
+// given in ring order (member i's successor is member i+1, cyclically); use
+// topology.RingOrder to compute such an order from geometry.
+func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Ring, error) {
+	params.Quotas = make([]Quota, len(members))
+	for i, mb := range members {
+		params.Quotas[i] = mb.Quota
+	}
+	if err := params.Validate(len(members)); err != nil {
+		return nil, err
+	}
+	seen := map[StationID]bool{}
+	seenCode := map[radio.Code]bool{}
+	for _, mb := range members {
+		if seen[mb.ID] {
+			return nil, fmt.Errorf("core: duplicate station ID %d", mb.ID)
+		}
+		if mb.Code == radio.Broadcast {
+			return nil, fmt.Errorf("core: station %d uses the broadcast code", mb.ID)
+		}
+		seen[mb.ID] = true
+		seenCode[mb.Code] = true
+	}
+	r := &Ring{
+		kernel:    k,
+		medium:    m,
+		rng:       rng,
+		params:    params,
+		stations:  map[StationID]*Station{},
+		joiners:   map[StationID]*Joiner{},
+		codes:     map[StationID]radio.Code{},
+		satLostAt: -1,
+	}
+	if r.params.ReformationSlotsPerStation <= 0 {
+		r.params.ReformationSlotsPerStation = 4
+	}
+	n := len(members)
+	for i, mb := range members {
+		st := &Station{
+			ring:   r,
+			ID:     mb.ID,
+			Node:   mb.Node,
+			Code:   mb.Code,
+			Quota:  mb.Quota,
+			succ:   members[(i+1)%n].ID,
+			pred:   members[(i+n-1)%n].ID,
+			active: true,
+		}
+		r.stations[mb.ID] = st
+		r.codes[mb.ID] = mb.Code
+		r.order = append(r.order, mb.ID)
+		m.SetReceiver(mb.Node, st)
+		m.Listen(mb.Node, mb.Code)
+	}
+	// Every consecutive pair must be mutually reachable or the ring cannot
+	// operate.
+	for i, mb := range members {
+		nb := members[(i+1)%n]
+		if !m.Connected(mb.Node, nb.Node) {
+			return nil, fmt.Errorf("core: ring neighbours %d and %d are not radio-connected", mb.ID, nb.ID)
+		}
+	}
+	r.rebuildTickOrder()
+	r.updateAnchor()
+	r.recomputeSatTime()
+	return r, nil
+}
+
+// Start injects the SAT at the first station and begins the per-slot loop.
+func (r *Ring) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	first := r.stations[r.order[0]]
+	first.hasSAT = true
+	first.sat = &SatInfo{}
+	first.seenSAT = true
+	first.satSeizedAt = r.kernel.Now()
+	first.lastSATArrival = r.kernel.Now()
+	if !r.params.DisableRecovery {
+		for _, st := range r.tickOrder {
+			if st != first {
+				st.armSATTimer(r.kernel.Now())
+			}
+		}
+	}
+	r.kernel.EverySlot(r.kernel.Now(), sim.PrioSlot, func(t sim.Time) bool {
+		if r.dead {
+			return false
+		}
+		for _, st := range r.tickOrder {
+			st.tick(t)
+		}
+		return true
+	})
+}
+
+// Kernel returns the simulation kernel the ring runs on.
+func (r *Ring) Kernel() *sim.Kernel { return r.kernel }
+
+// Medium returns the radio medium.
+func (r *Ring) Medium() *radio.Medium { return r.medium }
+
+// Station returns the MAC entity with the given ID (nil if absent).
+func (r *Ring) Station(id StationID) *Station { return r.stations[id] }
+
+// Stations returns all stations ever part of the ring, ascending by ID.
+func (r *Ring) Stations() []*Station { return r.tickOrder }
+
+// Order returns a copy of the current cyclic order.
+func (r *Ring) Order() []StationID { return append([]StationID(nil), r.order...) }
+
+// N returns the current number of ring members.
+func (r *Ring) N() int { return len(r.order) }
+
+// SatTime returns the SAT_TIME bound currently armed in the timers.
+func (r *Ring) SatTime() int64 { return r.satTime }
+
+// Params returns the ring's configuration.
+func (r *Ring) Params() Params { return r.params }
+
+// Dead reports whether the ring was lost and could not be re-formed.
+func (r *Ring) Dead() bool { return r.dead }
+
+// RingParams exports the current ring quantities for the closed-form bounds
+// of internal/analysis.
+func (r *Ring) RingParams() analysis.RingParams {
+	return analysis.RingParams{
+		N:     len(r.order),
+		S:     int64(len(r.order)),
+		TRap:  r.params.TRap(),
+		SumLK: r.activeSumLK(),
+	}
+}
+
+func (r *Ring) activeSumLK() int64 {
+	var s int64
+	for _, id := range r.order {
+		st := r.stations[id]
+		s += int64(st.Quota.L + st.Quota.K())
+	}
+	return s
+}
+
+func (r *Ring) codeOf(id StationID) radio.Code { return r.codes[id] }
+
+// inOrder reports whether the station is currently a ring member.
+func (r *Ring) inOrder(id StationID) bool {
+	for _, v := range r.order {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Ring) paused(now sim.Time) bool { return r.dead || now < r.pausedUntil }
+
+func (r *Ring) pauseUntil(t sim.Time) {
+	if t > r.pausedUntil {
+		r.pausedUntil = t
+	}
+}
+
+func (r *Ring) rebuildTickOrder() {
+	r.tickOrder = r.tickOrder[:0]
+	ids := make([]StationID, 0, len(r.stations))
+	for id := range r.stations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		r.tickOrder = append(r.tickOrder, r.stations[id])
+	}
+}
+
+func (r *Ring) updateAnchor() {
+	r.anchor = -1
+	for _, id := range r.order {
+		if r.anchor < 0 || id < r.anchor {
+			r.anchor = id
+		}
+	}
+}
+
+// recomputeSatTime refreshes the SAT_TIME bound (Theorem 1) from the
+// current membership. In a deployment this value rides inside the SAT and
+// topology-change messages; recomputing it centrally on membership change
+// is equivalent and keeps the protocol code focused.
+func (r *Ring) recomputeSatTime() {
+	r.satTime = analysis.SatTimeBound(r.RingParams()) + r.params.SatTimeMargin
+}
+
+// resetRotationBaselines clears every station's "previous SAT arrival"
+// marker so rotation samples never span a topology change or recovery.
+func (r *Ring) resetRotationBaselines() {
+	for _, st := range r.tickOrder {
+		st.seenSAT = false
+	}
+}
+
+// removeFromOrder deletes a station from the cyclic order and repairs the
+// neighbour bookkeeping of the remaining members.
+func (r *Ring) removeFromOrder(id StationID) {
+	for i, oid := range r.order {
+		if oid != id {
+			continue
+		}
+		n := len(r.order)
+		predID := r.order[(i+n-1)%n]
+		succID := r.order[(i+1)%n]
+		r.order = append(r.order[:i], r.order[i+1:]...)
+		if p, ok := r.stations[predID]; ok && p.succ == id {
+			p.succ = succID
+		}
+		if s, ok := r.stations[succID]; ok && s.pred == id {
+			s.pred = predID
+		}
+		break
+	}
+	if st, ok := r.stations[id]; ok && st.active {
+		st.active = false
+		st.satTimer.Cancel()
+		st.recDeadline.Cancel()
+	}
+	r.updateAnchor()
+}
+
+// SetQuota changes a station's per-rotation quota at run time (the paper's
+// footnote 1: bandwidth-allocation algorithms reconfigure l and k using the
+// WRT-Ring properties). The SAT_TIME bound is recomputed so timers stay
+// sound.
+func (r *Ring) SetQuota(id StationID, q Quota) error {
+	st, ok := r.stations[id]
+	if !ok {
+		return fmt.Errorf("core: no station %d", id)
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	st.Quota = q
+	r.recomputeSatTime()
+	return nil
+}
+
+// redistribute spreads a departed member's quota round-robin over the
+// current members, starting from the cyclic order's head so the outcome is
+// deterministic.
+func (r *Ring) redistribute(q Quota) {
+	if len(r.order) == 0 {
+		return
+	}
+	give := func(n int, add func(*Quota)) {
+		for i := 0; i < n; i++ {
+			st := r.stations[r.order[i%len(r.order)]]
+			add(&st.Quota)
+		}
+	}
+	give(q.L, func(t *Quota) { t.L++ })
+	give(q.K1, func(t *Quota) { t.K1++ })
+	give(q.K2, func(t *Quota) { t.K2++ })
+	r.Metrics.QuotaRedistributions++
+}
+
+// KillStation powers a station off without any notification — the silent
+// failure of §2.4.2/§2.5. The SAT (if the victim holds it, or when it next
+// reaches the victim) is lost and the timers must catch it.
+func (r *Ring) KillStation(id StationID) {
+	st, ok := r.stations[id]
+	if !ok || !st.active {
+		return
+	}
+	now := r.kernel.Now()
+	r.satLostAt = now
+	st.active = false
+	st.satTimer.Cancel()
+	st.recDeadline.Cancel()
+	r.medium.SetAlive(st.Node, false)
+	r.Metrics.Kills++
+}
+
+// LoseSATOnce makes the next SAT transmission vanish in the air — the pure
+// signal-loss case of §2.5 (no station actually failed, so the splice will
+// cut out a healthy station; the paper accepts this: its quota returns via
+// reallocation, and the station can rejoin through the RAP).
+func (r *Ring) LoseSATOnce() { r.dropNextSAT = true }
+
+// TagNextPacket marks the next Premium packet enqueued at the station as a
+// Theorem-3 probe; its measured wait lands in r.Tagged together with the
+// queue depth it found.
+type TaggedSample struct {
+	Station StationID
+	X       int // real-time packets ahead on arrival
+	L       int
+	Wait    int64
+	Bound   int64
+}
+
+func (r *Ring) recordTaggedWait(s *Station, p Packet, wait int64) {
+	r.Tagged = append(r.Tagged, TaggedSample{
+		Station: s.ID,
+		X:       p.AheadOnArrival,
+		L:       s.Quota.L,
+		Wait:    wait,
+		Bound:   analysis.AccessDelayBound(r.RingParams(), p.AheadOnArrival, s.Quota.L),
+	})
+}
+
+// reform rebuilds the ring from scratch after a failed splice (§2.5): the
+// current ring epoch ends, transmissions stop for a re-formation period
+// proportional to the number of stations, a new cyclic order is computed
+// from the surviving radio connectivity, and a fresh SAT is injected.
+func (r *Ring) reform(reporter StationID, now sim.Time) {
+	if r.dead {
+		return
+	}
+	r.epoch++
+	epoch := r.epoch
+	r.Metrics.Reformations++
+	r.Journal.Record(int64(now), trace.RecReform, int64(reporter), int64(len(r.order)), "")
+
+	// Freeze the network and clear all control state.
+	for _, st := range r.tickOrder {
+		st.satTimer.Cancel()
+		st.recDeadline.Cancel()
+		st.hasSAT = false
+		st.sat = nil
+		st.recOutstanding = nil
+		st.pendingRec = nil
+		st.replaceWithRec = nil
+		st.inRAP = false
+		st.rapJoinReq = nil
+		st.seenSAT = false
+		st.rtPck, st.nrt1Pck, st.nrt2Pck = 0, 0, 0
+	}
+
+	// Survivors: active stations whose radios are up.
+	var members []*Station
+	for _, st := range r.tickOrder {
+		if st.active && r.medium.Alive(st.Node) {
+			members = append(members, st)
+		}
+	}
+	if len(members) < 3 {
+		r.die("fewer than 3 survivors")
+		return
+	}
+
+	// Re-run the ring-construction substrate over surviving connectivity.
+	pos := make([]radio.Position, len(members))
+	g := codes.NewGraph(len(members))
+	for i, st := range members {
+		pos[i] = r.medium.PositionOf(st.Node)
+	}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if r.medium.Connected(members[i].Node, members[j].Node) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	tour, err := topology.RingOrder(pos, g)
+	if err != nil {
+		r.die(err.Error())
+		return
+	}
+
+	downtime := sim.Time(r.params.ReformationSlotsPerStation * int64(len(members)))
+	r.pauseUntil(now + downtime)
+
+	// Install the new cyclic order.
+	r.order = r.order[:0]
+	for _, idx := range tour {
+		r.order = append(r.order, members[idx].ID)
+	}
+	n := len(r.order)
+	for i, id := range r.order {
+		st := r.stations[id]
+		st.succ = r.order[(i+1)%n]
+		st.pred = r.order[(i+n-1)%n]
+		st.roundsSinceRAP = 0
+	}
+	r.updateAnchor()
+	r.recomputeSatTime()
+	r.satLostAt = -1
+
+	detectedAt := now
+	r.kernel.At(now+downtime, sim.PrioAdmin, func() {
+		if r.dead || r.epoch != epoch {
+			return
+		}
+		first := r.stations[r.order[0]]
+		if first == nil || !first.active {
+			return
+		}
+		first.hasSAT = true
+		first.sat = &SatInfo{Rounds: r.Metrics.Rounds}
+		first.satSeizedAt = r.kernel.Now()
+		first.seenSAT = true
+		first.lastSATArrival = r.kernel.Now()
+		if !r.params.DisableRecovery {
+			for _, st := range r.tickOrder {
+				if st.active && st != first {
+					st.armSATTimer(r.kernel.Now())
+				}
+			}
+		}
+		r.Metrics.HealLatency.Add(float64(r.kernel.Now() - detectedAt))
+		r.Metrics.RecoveryEvents = append(r.Metrics.RecoveryEvents, RecoveryEvent{
+			Kind:       "reform",
+			Failed:     reporter,
+			DetectedAt: detectedAt,
+			HealedAt:   r.kernel.Now(),
+		})
+	})
+	_ = reporter
+}
+
+func (r *Ring) die(reason string) {
+	r.dead = true
+	r.Metrics.Dead = true
+	r.Metrics.DeathReason = reason
+	for _, st := range r.tickOrder {
+		st.satTimer.Cancel()
+		st.recDeadline.Cancel()
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+)
+
+// buildRing wires a circle of n stations with uniform quotas into a running
+// WRT-Ring and returns the pieces. Test helper shared across this package.
+func buildRing(t testing.TB, n, l, k int, params Params, seed uint64) (*sim.Kernel, *radio.Medium, *Ring) {
+	t.Helper()
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	med := radio.NewMedium(kern, rng.Split())
+	pos := topology.Circle(n, 50)
+	// Range: reach a handful of neighbours either side, as in a meeting
+	// room; enough for ring formation and for splices to succeed.
+	txRange := topology.ChordLen(n, 50) * 2.5
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(pos[i], txRange, nil)
+		members[i] = Member{
+			ID:    StationID(i),
+			Node:  node,
+			Code:  radio.Code(i + 1),
+			Quota: Quota{L: l, K1: (k + 1) / 2, K2: k / 2},
+		}
+	}
+	params.Quotas = nil // New derives them from members
+	ring, err := New(kern, med, rng.Split(), params, members)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ring.Start()
+	return kern, med, ring
+}
+
+func TestSATCirculatesIdleRing(t *testing.T) {
+	n := 8
+	kern, _, ring := buildRing(t, n, 2, 2, Params{}, 1)
+	kern.Run(1000)
+	// Idle ring: the SAT should complete a rotation every N slots.
+	if ring.Metrics.Rounds < int64(1000/n)-2 {
+		t.Fatalf("rounds = %d, want about %d", ring.Metrics.Rounds, 1000/n)
+	}
+	got := ring.Metrics.Rotation.Mean()
+	if got < float64(n)-0.01 || got > float64(n)+0.01 {
+		t.Fatalf("idle rotation mean = %.3f, want %d", got, n)
+	}
+	if ring.Metrics.Detections != 0 || ring.Metrics.FalseAlarms != 0 {
+		t.Fatalf("idle ring raised recovery machinery: %+v", ring.Metrics)
+	}
+}
+
+func TestPacketDelivery(t *testing.T) {
+	kern, _, ring := buildRing(t, 6, 2, 2, Params{}, 2)
+	src := ring.Station(0)
+	src.Enqueue(Packet{Dst: 3, Class: Premium, Seq: 1})
+	kern.Run(100)
+	if got := ring.Metrics.Delivered[Premium]; got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+	// Distance 0→3 is 3 hops; delay should be small: wait for SAT + hops.
+	if d := ring.Metrics.Delay[Premium].Max(); d > 30 {
+		t.Fatalf("delivery delay = %.0f, unreasonably large", d)
+	}
+}
+
+func TestSaturatedRotationUnderBound(t *testing.T) {
+	n, l, k := 8, 2, 2
+	kern, _, ring := buildRing(t, n, l, k, Params{}, 3)
+	// Saturate every station with Premium and BestEffort to its own
+	// opposite station.
+	for i := 0; i < n; i++ {
+		st := ring.Station(StationID(i))
+		for p := 0; p < 400; p++ {
+			st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: Premium, Seq: int64(p)})
+			st.Enqueue(Packet{Dst: StationID((i + n/2) % n), Class: BestEffort, Seq: int64(p)})
+		}
+	}
+	kern.Run(5000)
+	bound := ring.SatTime() // Theorem 1 RHS (margin 0)
+	if got := ring.Metrics.MaxRotation; got >= bound {
+		t.Fatalf("max rotation %d >= Theorem-1 bound %d", got, bound)
+	}
+	if ring.Metrics.Rounds < 10 {
+		t.Fatalf("too few rounds under saturation: %d", ring.Metrics.Rounds)
+	}
+	if ring.Metrics.FalseAlarms > 0 {
+		t.Fatalf("false alarms under saturation: %d", ring.Metrics.FalseAlarms)
+	}
+}
+
+func TestKillStationSpliceRecovery(t *testing.T) {
+	kern, _, ring := buildRing(t, 8, 2, 2, Params{}, 4)
+	kern.Run(200)
+	ring.KillStation(5)
+	kern.Run(200 + sim.Time(3*ring.SatTime()))
+	if ring.Dead() {
+		t.Fatalf("ring died: %s", ring.Metrics.DeathReason)
+	}
+	if ring.Metrics.Splices == 0 {
+		t.Fatalf("no splice happened: %+v", ring.Metrics)
+	}
+	if got := ring.N(); got != 7 {
+		t.Fatalf("ring size after splice = %d, want 7", got)
+	}
+	// The ring must keep rotating after the splice.
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 200)
+	if ring.Metrics.Rounds <= before {
+		t.Fatalf("SAT stopped rotating after splice")
+	}
+	// Traffic still flows, bypassing the dead station.
+	ring.Station(4).Enqueue(Packet{Dst: 6, Class: Premium})
+	del := ring.Metrics.Delivered[Premium]
+	kern.Run(kern.Now() + 100)
+	if ring.Metrics.Delivered[Premium] != del+1 {
+		t.Fatalf("packet across the splice not delivered")
+	}
+}
+
+func TestVoluntaryLeave(t *testing.T) {
+	kern, _, ring := buildRing(t, 8, 2, 2, Params{}, 5)
+	kern.Run(100)
+	ring.Station(3).Leave()
+	kern.Run(100 + sim.Time(3*ring.SatTime()))
+	if ring.Dead() {
+		t.Fatalf("ring died: %s", ring.Metrics.DeathReason)
+	}
+	if got := ring.N(); got != 7 {
+		t.Fatalf("ring size after leave = %d, want 7", got)
+	}
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 200)
+	if ring.Metrics.Rounds <= before {
+		t.Fatalf("SAT stopped rotating after voluntary leave")
+	}
+}
+
+func TestLoseSATRecovery(t *testing.T) {
+	kern, _, ring := buildRing(t, 8, 2, 2, Params{}, 6)
+	kern.Run(100)
+	ring.LoseSATOnce()
+	kern.Run(100 + sim.Time(3*ring.SatTime()))
+	if ring.Dead() {
+		t.Fatalf("ring died: %s", ring.Metrics.DeathReason)
+	}
+	if ring.Metrics.Detections == 0 {
+		t.Fatalf("SAT loss not detected")
+	}
+	before := ring.Metrics.Rounds
+	kern.Run(kern.Now() + 200)
+	if ring.Metrics.Rounds <= before {
+		t.Fatalf("SAT not re-established after loss")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, float64) {
+		kern, _, ring := buildRing(t, 8, 2, 2, Params{}, 42)
+		for i := 0; i < 8; i++ {
+			st := ring.Station(StationID(i))
+			for p := 0; p < 50; p++ {
+				st.Enqueue(Packet{Dst: StationID((i + 3) % 8), Class: Premium, Seq: int64(p)})
+			}
+		}
+		kern.Run(2000)
+		return ring.Metrics.Rounds, ring.Metrics.TotalDelivered(), ring.Metrics.Rotation.Mean()
+	}
+	r1, d1, m1 := run()
+	r2, d2, m2 := run()
+	if r1 != r2 || d1 != d2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%d,%d,%f) vs (%d,%d,%f)", r1, d1, m1, r2, d2, m2)
+	}
+}

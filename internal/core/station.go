@@ -1,0 +1,460 @@
+package core
+
+import (
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// Station is one WRT-Ring MAC entity bound to a radio node. All state is
+// driven by the ring's per-slot tick and by radio receptions; nothing here
+// touches wall-clock time or goroutines.
+type Station struct {
+	ring  *Ring
+	ID    StationID
+	Node  radio.NodeID
+	Code  radio.Code
+	Quota Quota
+
+	// Ring neighbourhood. succ is where this station transmits; pred is
+	// maintained so the SAT-loss machinery can name the presumed-failed
+	// station (§2.5).
+	succ, pred StationID
+
+	active bool
+
+	// Per-slot pipeline.
+	incoming     *RingFrame
+	collided     bool
+	held         SlotPayload
+	holding      bool
+	pendingLeave *LeaveInfo
+	pendingRec   *SatRecInfo
+
+	// SAT state (§2.2).
+	hasSAT           bool
+	sat              *SatInfo
+	seenSAT          bool
+	lastSATArrival   sim.Time
+	lastSATDeparture sim.Time
+	satTimer         sim.Handle
+	satSeizedAt      sim.Time
+
+	// Quota counters, cleared at SAT release.
+	rtPck, nrt1Pck, nrt2Pck int
+
+	// Queues per class.
+	q [numClasses]fifo
+
+	// RAP state (§2.4.1).
+	roundsSinceRAP int
+	inRAP          bool
+	rapJoinReq     *JoinReqFrame
+
+	// Recovery state (§2.5).
+	recOutstanding   *SatRecInfo
+	recDeadline      sim.Handle
+	recDetectedAt    sim.Time
+	lastForwardedRec *SatRecInfo
+	lastForwardedAt  sim.Time
+	replaceWithRec   *LeaveInfo // set when the predecessor announced a leave
+
+	pendingRecDelay int
+
+	// Voluntary-leave intent: the station departs as soon as it does not
+	// hold the SAT.
+	wantLeave bool
+
+	Metrics StationMetrics
+}
+
+// Active reports whether the station is currently an operating ring member.
+func (s *Station) Active() bool { return s.active }
+
+// Succ returns the station's current ring successor.
+func (s *Station) Succ() StationID { return s.succ }
+
+// Pred returns the station's current ring predecessor.
+func (s *Station) Pred() StationID { return s.pred }
+
+// QueueLen returns the number of packets waiting in the given class queue.
+func (s *Station) QueueLen(c Class) int { return s.q[c].Len() }
+
+// Enqueue places a packet in the station's queue for its class. The packet
+// timestamps and the Theorem-3 "x" (packets ahead on arrival) are recorded
+// here.
+func (s *Station) Enqueue(p Packet) {
+	p.Src = s.ID
+	p.Enqueued = s.ring.kernel.Now()
+	p.AheadOnArrival = s.q[p.Class].Len()
+	s.q[p.Class].Push(p)
+	s.Metrics.Offered[p.Class]++
+}
+
+// satisfied implements the paper's definition: no real-time traffic ready,
+// or the full l quota already transmitted since the last SAT visit.
+func (s *Station) satisfied() bool {
+	return s.q[Premium].Len() == 0 || s.rtPck >= s.Quota.L
+}
+
+// OnReceive implements radio.Receiver.
+func (s *Station) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) {
+	switch f := frame.(type) {
+	case *RingFrame:
+		if code != s.Code || !s.active {
+			return
+		}
+		if s.incoming != nil {
+			// Two upstream transmitters in one slot can only happen during
+			// a splice transition; keep the first, count the anomaly.
+			s.Metrics.DupFrames++
+			return
+		}
+		s.incoming = f
+	case JoinReqFrame:
+		if s.inRAP && code == s.Code {
+			if s.rapJoinReq == nil {
+				cp := f
+				s.rapJoinReq = &cp
+			}
+		}
+	case CutInfo:
+		if code == s.Code && f.Failed == s.ID && s.active {
+			// We were presumed dead and spliced out of the ring: fall
+			// silent (§2.5; the paper notes the station may rejoin via
+			// the RAP, and its quota returns to the pool).
+			s.exile()
+		}
+	case RingLostFrame:
+		s.ring.onRingLost(f)
+	case NextFreeFrame:
+		// Ring members ignore other stations' NEXT_FREE (only prospective
+		// joiners act on it).
+	}
+}
+
+// OnCollision implements radio.Receiver.
+func (s *Station) OnCollision(code radio.Code) {
+	if code == s.Code {
+		s.collided = true
+		s.Metrics.SlotCollisions++
+	}
+}
+
+// tick runs the station's slot pipeline for the current slot.
+func (s *Station) tick(now sim.Time) {
+	if !s.active {
+		s.incoming = nil
+		s.collided = false
+		return
+	}
+
+	// Phase 1: absorb whatever arrived at the start of this slot.
+	if fr := s.incoming; fr != nil {
+		s.incoming = nil
+		if s.holding {
+			// Pause/resume transient: we still hold last slot and received
+			// a new one. Drop the held one (it was already forwarded by the
+			// time semantics) and take the fresh frame.
+			s.Metrics.DupFrames++
+		}
+		s.held = fr.Slot
+		s.holding = true
+		if s.held.Busy {
+			s.held.Hops++
+		}
+		if fr.Leave != nil {
+			s.handleLeave(fr.Leave)
+		}
+		if fr.SatRec != nil {
+			s.handleSatRec(fr.SatRec, now)
+		}
+		if fr.Sat != nil {
+			s.satArrived(fr.Sat, now)
+		}
+	} else if !s.holding {
+		// Upstream silence (lost frame, dead predecessor, collision):
+		// regenerate an empty slot to keep the slot stream alive. Any
+		// packet carried by the lost slot is gone — that is radio reality.
+		if s.collided {
+			s.Metrics.SlotsCorrupted++
+		}
+		s.held = SlotPayload{}
+		s.holding = true
+		s.Metrics.SlotsRegenerated++
+	}
+	s.collided = false
+
+	// Phase 2: slot removal policy.
+	if s.held.Busy {
+		switch s.ring.params.Removal {
+		case DestinationRemoval:
+			if s.held.Pkt.Dst == s.ID {
+				s.deliver(s.held.Pkt, now)
+				s.held = SlotPayload{}
+			} else if s.held.Pkt.Src == s.ID && s.held.Hops > 0 {
+				// The packet circled back to its source: the destination
+				// left or died, so free the orphaned slot.
+				s.Metrics.OrphansFreed++
+				s.held = SlotPayload{}
+			} else if int(s.held.Hops) > 4*s.ring.N()+16 {
+				// Double orphan (source gone too): hop-TTL scrubber.
+				s.Metrics.SlotsScrubbed++
+				s.held = SlotPayload{}
+			}
+		case SourceRemoval:
+			if s.held.Pkt.Dst == s.ID && !s.held.Pkt.Copied {
+				s.deliver(s.held.Pkt, now)
+				s.held.Pkt.Copied = true
+			}
+			if s.held.Pkt.Src == s.ID {
+				if !s.held.Pkt.Copied {
+					s.Metrics.ReturnedUndelivered++
+				}
+				s.held = SlotPayload{}
+			}
+		}
+	}
+
+	// Phase 3: the network is silent during a RAP or a re-formation.
+	if s.ring.paused(now) {
+		return
+	}
+
+	// Phase 4: transmission decision (the paper's Send algorithm).
+	if !s.held.Busy {
+		if pkt, ok := s.nextPacket(); ok {
+			wait := int64(now - pkt.Enqueued)
+			s.Metrics.Wait[pkt.Class].Add(float64(wait))
+			if pkt.Tagged {
+				s.ring.recordTaggedWait(s, pkt, wait)
+			}
+			s.held = SlotPayload{Busy: true, Pkt: pkt}
+			s.Metrics.Sent[pkt.Class]++
+		}
+	}
+
+	// Phase 5: control-signal release decisions.
+	var satOut *SatInfo
+	if s.hasSAT && !s.inRAP && s.satisfied() {
+		satOut = s.releaseSAT(now)
+	}
+	var recOut *SatRecInfo
+	if s.pendingRec != nil {
+		if s.pendingRecDelay > 0 {
+			// One-slot grace so a just-cut alive station falls silent
+			// before the SAT_REC crosses the bypass hop.
+			s.pendingRecDelay--
+		} else {
+			recOut = s.pendingRec
+			s.pendingRec = nil
+		}
+	}
+	leaveOut := s.pendingLeave
+	s.pendingLeave = nil
+
+	// Phase 6: transmit the frame to the successor's code.
+	s.ring.Metrics.SlotHops++
+	if s.held.Busy {
+		s.ring.Metrics.BusyHops++
+	}
+	frame := &RingFrame{Slot: s.held, Sat: satOut, SatRec: recOut, Leave: leaveOut}
+	if satOut != nil && s.ring.dropNextSAT {
+		// Fault injection: the SAT frame vanishes in the air.
+		s.ring.dropNextSAT = false
+		s.ring.satLostAt = now
+		s.ring.Metrics.SATInjectedLosses++
+		frame.Sat = nil
+	}
+	s.ring.medium.Transmit(s.Node, s.ring.codeOf(s.succ), frame)
+	s.holding = false
+	s.held = SlotPayload{}
+
+	// A voluntarily leaving station departs right after the slot in which
+	// it announced the leave. It only falls silent here: the ring-order
+	// bookkeeping is repaired by the successor's SAT_REC (§2.4.2/§2.5).
+	// Removing it from the order immediately would rewire its
+	// predecessor's successor pointer mid-slot — and if the predecessor
+	// ticks later in the same slot, both would transmit on the successor's
+	// code at once, colliding with this very LEAVE announcement.
+	if leaveOut != nil {
+		s.ring.Journal.Record(int64(now), trace.LeaveDone, int64(s.ID), 0, "")
+		s.active = false
+		s.satTimer.Cancel()
+		s.recDeadline.Cancel()
+		s.ring.medium.SetAlive(s.Node, false)
+	}
+}
+
+// nextPacket applies the Send algorithm of §2.2 with the §2.3 k1/k2 split:
+// real-time first while the l quota lasts; non-real-time only when the
+// real-time buffer is empty or exhausted, Assured (k1) before BestEffort
+// (k2).
+func (s *Station) nextPacket() (Packet, bool) {
+	if s.rtPck < s.Quota.L && s.q[Premium].Len() > 0 {
+		s.rtPck++
+		return s.q[Premium].Pop(), true
+	}
+	if s.q[Premium].Len() == 0 || s.rtPck >= s.Quota.L {
+		if s.nrt1Pck < s.Quota.K1 && s.q[Assured].Len() > 0 {
+			s.nrt1Pck++
+			return s.q[Assured].Pop(), true
+		}
+		if s.nrt2Pck < s.Quota.K2 && s.q[BestEffort].Len() > 0 {
+			s.nrt2Pck++
+			return s.q[BestEffort].Pop(), true
+		}
+	}
+	return Packet{}, false
+}
+
+// deliver hands a packet that reached its destination to the ring sink.
+func (s *Station) deliver(p Packet, now sim.Time) {
+	delay := int64(now - p.Enqueued)
+	s.Metrics.Delivered[p.Class]++
+	s.Metrics.Delay[p.Class].Add(float64(delay))
+	if p.Deadline > 0 {
+		s.Metrics.Deadlines.Record(delay, p.Deadline)
+	}
+	s.ring.Metrics.Delivered[p.Class]++
+	s.ring.Metrics.Delay[p.Class].Add(float64(delay))
+	if s.ring.OnDeliver != nil {
+		s.ring.OnDeliver(p, now)
+	}
+}
+
+// satArrived processes a SAT reception (§2.2 SAT algorithm).
+func (s *Station) satArrived(sat *SatInfo, now sim.Time) {
+	if s.hasSAT {
+		// A second SAT is a protocol failure (e.g. duplicated recovery);
+		// swallow it and count.
+		s.Metrics.DuplicateSAT++
+		s.ring.Metrics.DuplicateSAT++
+		return
+	}
+	s.satTimer.Cancel()
+	if s.seenSAT {
+		rot := int64(now - s.lastSATArrival)
+		s.Metrics.Rotation.Add(float64(rot))
+		s.ring.Metrics.Rotation.Add(float64(rot))
+		if rot > s.ring.Metrics.MaxRotation {
+			s.ring.Metrics.MaxRotation = rot
+		}
+	}
+	s.seenSAT = true
+	s.lastSATArrival = now
+	s.roundsSinceRAP++
+
+	// Any recovery in progress is a false alarm: the SAT is alive.
+	if s.recOutstanding != nil {
+		s.recOutstanding = nil
+		s.recDeadline.Cancel()
+		s.Metrics.FalseAlarms++
+		s.ring.Metrics.FalseAlarms++
+	}
+
+	if s.ring.anchor == s.ID {
+		sat.Rounds++
+		s.ring.Metrics.Rounds = sat.Rounds
+	}
+
+	// Clear the mutex when the SAT returns to the RAP owner.
+	if sat.RAPMutex && sat.RAPOwner == s.ID {
+		sat.RAPMutex = false
+	}
+
+	s.hasSAT = true
+	s.sat = sat
+	s.satSeizedAt = now
+
+	// Voluntary leave converts the next SAT into a SAT_REC downstream
+	// (§2.4.2): the successor of a leaver does that, see handleLeave — but
+	// only if the leaver is still a ring member. If the SAT died with the
+	// leaver, the timer recovery has already cut it out by the time a
+	// fresh SAT arrives, and converting again would put a doomed second
+	// SAT_REC into the ring.
+	if s.replaceWithRec != nil {
+		leaver := s.replaceWithRec.Leaver
+		s.replaceWithRec = nil
+		if s.ring.inOrder(leaver) {
+			s.hasSAT = false
+			s.sat = nil
+			s.startRecovery(leaver, now)
+			return
+		}
+	}
+
+	// RAP entry (§2.4.1): eligible station opens a Random Access Period.
+	if s.ring.params.EnableRAP && !sat.RAPMutex && s.roundsSinceRAP >= s.ring.sRound() {
+		s.enterRAP(now)
+	}
+}
+
+// releaseSAT forwards the SAT: counters are cleared and the SAT_TIMER armed
+// (§2.2, §2.5).
+func (s *Station) releaseSAT(now sim.Time) *SatInfo {
+	sat := s.sat
+	s.hasSAT = false
+	s.sat = nil
+	s.rtPck, s.nrt1Pck, s.nrt2Pck = 0, 0, 0
+	s.lastSATDeparture = now
+	hold := int64(now - s.satSeizedAt)
+	s.Metrics.SatHold.Add(float64(hold))
+	if hold > 0 {
+		s.ring.Journal.Record(int64(now), trace.SATSeize, int64(s.ID), hold, "")
+	}
+	s.ring.Journal.Record(int64(now), trace.SATForward, int64(s.ID), int64(s.succ), "")
+	if !s.ring.params.DisableRecovery {
+		s.armSATTimer(now)
+	}
+	// A station that wants to leave does so as soon as it no longer holds
+	// the SAT: announce on the same frame that carries the SAT onward.
+	if s.wantLeave {
+		s.wantLeave = false
+		s.pendingLeave = &LeaveInfo{Leaver: s.ID}
+		s.satTimer.Cancel()
+	}
+	return sat
+}
+
+// armSATTimer starts the local SAT_TIMER with the network's current
+// SAT_TIME bound (§2.5).
+func (s *Station) armSATTimer(now sim.Time) {
+	s.satTimer.Cancel()
+	deadline := sim.Time(s.ring.satTime)
+	s.satTimer = s.ring.kernel.After(deadline, sim.PrioTimer, func() {
+		s.onSATTimeout(s.ring.kernel.Now())
+	})
+	_ = now
+}
+
+// exile silences the MAC but keeps the radio up: the station was cut out of
+// the ring by a recovery while being perfectly healthy. With AutoRejoin it
+// re-enters through the next RAP like any newcomer.
+func (s *Station) exile() {
+	s.Metrics.Exiled++
+	s.ring.Metrics.Exiles++
+	s.ring.Journal.Record(int64(s.ring.kernel.Now()), trace.Exile, int64(s.ID), 0, "")
+	s.active = false
+	s.satTimer.Cancel()
+	s.recDeadline.Cancel()
+	s.ring.removeFromOrder(s.ID)
+	r := s.ring
+	if !r.params.EnableRAP || !r.params.AutoRejoin {
+		return
+	}
+	id, node, code, quota := s.ID, s.Node, s.Code, s.Quota
+	// Wait out the recovery (one SAT_TIME) before listening for NEXT_FREE.
+	r.kernel.After(sim.Time(r.satTime), sim.PrioAdmin, func() {
+		if st, ok := r.stations[id]; ok && st.active {
+			return
+		}
+		if _, waiting := r.joiners[id]; waiting {
+			return
+		}
+		if r.dead {
+			return
+		}
+		r.NewJoiner(id, node, code, quota)
+	})
+}

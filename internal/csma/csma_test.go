@@ -1,0 +1,188 @@
+package csma
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/stats"
+	"github.com/rtnet/wrtring/internal/topology"
+)
+
+func buildCell(t testing.TB, n int, params Params, seed uint64) (*sim.Kernel, *radio.Medium, *Network) {
+	t.Helper()
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	med := radio.NewMedium(kern, rng.Split())
+	pos := topology.Circle(n, 20)
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(pos[i], 100, nil) // everyone hears everyone
+		members[i] = Member{ID: core.StationID(i), Node: node}
+	}
+	net, err := New(kern, med, rng.Split(), params, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	return kern, med, net
+}
+
+func TestSingleTransmitterNoCollisions(t *testing.T) {
+	kern, _, net := buildCell(t, 4, Params{}, 1)
+	st := net.Station(0)
+	for p := 0; p < 50; p++ {
+		st.Enqueue(core.Packet{Dst: 2, Seq: int64(p)})
+	}
+	kern.Run(5000)
+	if st.Metrics.Delivered != 0 {
+		t.Fatal("sender delivered to itself?")
+	}
+	if net.Station(2).Metrics.Delivered != 50 {
+		t.Fatalf("delivered %d", net.Station(2).Metrics.Delivered)
+	}
+	if net.Metrics.Collisions != 0 {
+		t.Fatalf("collisions with one talker: %d", net.Metrics.Collisions)
+	}
+}
+
+func TestContendingTransmittersCollideAndRecover(t *testing.T) {
+	kern, _, net := buildCell(t, 6, Params{}, 2)
+	for i := 0; i < 6; i++ {
+		st := net.Station(core.StationID(i))
+		for p := 0; p < 100; p++ {
+			st.Enqueue(core.Packet{Dst: core.StationID((i + 3) % 6), Seq: int64(i*1000 + p)})
+		}
+	}
+	kern.Run(60_000)
+	if net.Metrics.Collisions == 0 {
+		t.Fatal("six saturated stations never collided")
+	}
+	if net.Metrics.Delivered < 550 {
+		t.Fatalf("delivered only %d of 600", net.Metrics.Delivered)
+	}
+}
+
+func TestCollisionRateGrowsWithN(t *testing.T) {
+	// The paper's motivating claim: "packet collision may occur frequently
+	// by increasing the number of mobile stations".
+	rate := func(n int) float64 {
+		kern, _, net := buildCell(t, n, Params{}, 3)
+		for i := 0; i < n; i++ {
+			st := net.Station(core.StationID(i))
+			for p := 0; p < 2000; p++ {
+				st.Enqueue(core.Packet{Dst: core.StationID((i + 1) % n), Seq: int64(i*10000 + p)})
+			}
+		}
+		kern.Run(30_000)
+		var sent int64
+		for i := 0; i < n; i++ {
+			sent += net.Station(core.StationID(i)).Metrics.Sent
+		}
+		return float64(net.Metrics.Collisions) / float64(sent)
+	}
+	small, large := rate(4), rate(24)
+	if large <= small {
+		t.Fatalf("collision rate did not grow with N: %f -> %f", small, large)
+	}
+}
+
+func TestDelayTailUnbounded(t *testing.T) {
+	// Same CBR load as a WRT-Ring QoS scenario: the contention MAC's max
+	// delay blows far past what the ring's Theorem-1 bound would allow.
+	n := 16
+	kern, _, net := buildCell(t, n, Params{}, 4)
+	for i := 0; i < n; i++ {
+		i := i
+		st := net.Station(core.StationID(i))
+		var pump func()
+		seq := int64(0)
+		pump = func() {
+			if kern.Now() >= 40_000 {
+				return
+			}
+			seq++
+			st.Enqueue(core.Packet{Dst: core.StationID((i + n/2) % n), Seq: seq})
+			kern.After(20, sim.PrioTraffic, pump)
+		}
+		kern.At(sim.Time(1+i), sim.PrioTraffic, pump)
+	}
+	kern.Run(40_000)
+	if net.Metrics.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	p99 := stats.Percentile(net.Delays(), 99)
+	mean := net.Metrics.Delay.Mean()
+	if p99 < 3*mean {
+		t.Logf("tail surprisingly tight: p99=%.0f mean=%.0f", p99, mean)
+	}
+	// The load (16 stations, 1 pkt/20 slots each ≈ 0.8 of a unit channel)
+	// is feasible for WRT-Ring but pushes the contention MAC into deep
+	// queueing: max delay far beyond a WRT-Ring rotation bound.
+	if net.Metrics.Delay.Max() < 500 {
+		t.Fatalf("contention MAC suspiciously well-behaved: max delay %.0f", net.Metrics.Delay.Max())
+	}
+}
+
+func TestMaxRetriesDrops(t *testing.T) {
+	// Two stations permanently colliding (both saturated, CW forced tiny).
+	kern, _, net := buildCell(t, 4, Params{CWMin: 1, CWMax: 1, MaxRetries: 3}, 5)
+	for p := 0; p < 50; p++ {
+		net.Station(0).Enqueue(core.Packet{Dst: 2, Seq: int64(p)})
+		net.Station(1).Enqueue(core.Packet{Dst: 3, Seq: int64(1000 + p)})
+	}
+	kern.Run(4000)
+	if net.Metrics.Dropped == 0 {
+		t.Fatal("CW=1 duel never dropped a frame")
+	}
+}
+
+func TestHiddenTerminalCollisions(t *testing.T) {
+	// A and C cannot hear each other but both reach B: carrier sensing is
+	// blind, so their frames collide at B (the classic hidden-terminal
+	// failure the paper's §1 cites against contention MACs).
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(6)
+	med := radio.NewMedium(kern, rng.Split())
+	a := med.AddNode(radio.Position{X: 0, Y: 0}, 12, nil)
+	b := med.AddNode(radio.Position{X: 10, Y: 0}, 12, nil)
+	c := med.AddNode(radio.Position{X: 20, Y: 0}, 12, nil)
+	net, err := New(kern, med, rng.Split(), Params{}, []Member{
+		{ID: 0, Node: a}, {ID: 1, Node: b}, {ID: 2, Node: c},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	for p := 0; p < 200; p++ {
+		net.Station(0).Enqueue(core.Packet{Dst: 1, Seq: int64(p)})
+		net.Station(2).Enqueue(core.Packet{Dst: 1, Seq: int64(1000 + p)})
+	}
+	kern.Run(30_000)
+	if net.Metrics.Collisions == 0 {
+		t.Fatal("hidden terminals never collided")
+	}
+	if net.Station(1).Metrics.Delivered == 0 {
+		t.Fatal("nothing got through at all")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		kern, _, net := buildCell(t, 8, Params{}, 42)
+		for i := 0; i < 8; i++ {
+			st := net.Station(core.StationID(i))
+			for p := 0; p < 60; p++ {
+				st.Enqueue(core.Packet{Dst: core.StationID((i + 4) % 8), Seq: int64(i*100 + p)})
+			}
+		}
+		kern.Run(20_000)
+		return net.Metrics.Delivered, net.Metrics.Collisions
+	}
+	d1, c1 := run()
+	d2, c2 := run()
+	if d1 != d2 || c1 != c2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", d1, c1, d2, c2)
+	}
+}

@@ -1,0 +1,270 @@
+// Package diffserv models the "Two-bit Differentiated Services
+// Architecture" (Nichols, Jacobson & Zhang) side of Figure 2 of the paper:
+// a wired LAN edge node with Premium / Assured / best-effort handling, and
+// the gateway station G1 that bridges the LAN to the WRT-Ring ad hoc
+// network, including the bandwidth-admission dialogue of §2.3.
+//
+// The mapping follows the paper exactly: the guaranteed l quota of
+// WRT-Ring carries Premium, and the k quota is split k = k1 + k2 between
+// Assured and best-effort.
+package diffserv
+
+import (
+	"fmt"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/stats"
+)
+
+// TokenBucket is the policer of the two-bit architecture: packets conform
+// while tokens last; tokens refill at Rate per slot up to Burst.
+type TokenBucket struct {
+	Rate  float64
+	Burst float64
+
+	tokens float64
+	last   int64
+	primed bool
+}
+
+// NewTokenBucket creates a policer that starts full.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst}
+}
+
+// Conform consumes one token if available at virtual time now.
+func (b *TokenBucket) Conform(now int64) bool {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+	}
+	b.tokens += float64(now-b.last) * b.Rate
+	b.last = now
+	if b.tokens > b.Burst {
+		b.tokens = b.Burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// NodeMetrics aggregates per-class accounting at a Diffserv node.
+type NodeMetrics struct {
+	Accepted  [3]int64
+	Demoted   int64 // Assured out-of-profile, demoted to best-effort
+	Dropped   [3]int64
+	Forwarded [3]int64
+	Delay     [3]stats.Welford
+	QueueMax  [3]int
+}
+
+type entry struct {
+	pkt core.Packet
+	at  sim.Time
+}
+
+// Node is a Diffserv edge router: three class queues served by strict
+// priority over a unit-capacity link (one packet per slot), with a policer
+// per class. Premium out-of-profile packets are dropped (the premium
+// contract is a hard shaping contract); Assured out-of-profile packets are
+// demoted to best-effort, as in the two-bit architecture.
+type Node struct {
+	kernel *sim.Kernel
+
+	// Policer per class; nil means unpoliced.
+	Policer [3]*TokenBucket
+	// QueueCap bounds each queue (0 = unbounded); overflow is dropped.
+	QueueCap int
+	// Out receives packets after their transmission slot.
+	Out func(core.Packet, sim.Time)
+
+	queues  [3][]entry
+	Metrics NodeMetrics
+	started bool
+}
+
+// NewNode creates a Diffserv node bound to the kernel.
+func NewNode(k *sim.Kernel) *Node {
+	return &Node{kernel: k}
+}
+
+// Start begins the per-slot service loop.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.kernel.EverySlot(n.kernel.Now(), sim.PrioSlot, func(t sim.Time) bool {
+		n.serve(t)
+		return true
+	})
+}
+
+// Submit polices and enqueues a packet at its class queue.
+func (n *Node) Submit(p core.Packet) {
+	now := int64(n.kernel.Now())
+	c := p.Class
+	if pol := n.Policer[c]; pol != nil && !pol.Conform(now) {
+		switch c {
+		case core.Premium:
+			n.Metrics.Dropped[c]++
+			return
+		case core.Assured:
+			// Demote: the two-bit architecture clears the "in" bit and the
+			// packet competes as best-effort.
+			c = core.BestEffort
+			p.Class = core.BestEffort
+			n.Metrics.Demoted++
+		}
+	}
+	if n.QueueCap > 0 && len(n.queues[c]) >= n.QueueCap {
+		n.Metrics.Dropped[c]++
+		return
+	}
+	n.Metrics.Accepted[c]++
+	n.queues[c] = append(n.queues[c], entry{pkt: p, at: n.kernel.Now()})
+	if l := len(n.queues[c]); l > n.Metrics.QueueMax[c] {
+		n.Metrics.QueueMax[c] = l
+	}
+}
+
+// serve transmits the highest-priority queued packet this slot.
+func (n *Node) serve(now sim.Time) {
+	for c := 0; c < 3; c++ {
+		if len(n.queues[c]) == 0 {
+			continue
+		}
+		e := n.queues[c][0]
+		copy(n.queues[c], n.queues[c][1:])
+		n.queues[c] = n.queues[c][:len(n.queues[c])-1]
+		n.Metrics.Forwarded[c]++
+		n.Metrics.Delay[c].Add(float64(now - e.at))
+		if n.Out != nil {
+			n.Out(e.pkt, now)
+		}
+		return
+	}
+}
+
+// QueueLen returns the backlog of a class queue.
+func (n *Node) QueueLen(c core.Class) int { return len(n.queues[c]) }
+
+// Gateway is station G1 of Figure 2: it belongs to the WRT-Ring (it is an
+// ordinary ring station with its own quota) and fronts the Diffserv LAN.
+// Traffic from the LAN to the ad hoc network passes the admission dialogue
+// of §2.3: before a premium stream is established, the LAN asks G1 for the
+// bandwidth, and WRT-Ring checks whether the required l quota can be
+// reserved without breaking existing guarantees.
+type Gateway struct {
+	Ring    *core.Ring
+	Station *core.Station
+	LAN     *Node
+
+	// MaxPremiumQuota caps G1's l (the network-side reservation limit).
+	MaxPremiumQuota int
+
+	committedRate float64
+	baseQuota     core.Quota
+
+	Metrics GatewayMetrics
+}
+
+// GatewayMetrics counts the admission dialogue outcomes and relayed
+// traffic.
+type GatewayMetrics struct {
+	Requests     int64
+	Admitted     int64
+	Rejected     int64
+	LANToRing    int64
+	RingToLAN    int64
+	ReleasedRate float64
+}
+
+// NewGateway wires G1. The station keeps its configured quota as the
+// baseline; admissions raise its Premium (l) share.
+func NewGateway(ring *core.Ring, station *core.Station, lan *Node) *Gateway {
+	g := &Gateway{Ring: ring, Station: station, LAN: lan, baseQuota: station.Quota}
+	return g
+}
+
+// requiredQuota converts a premium stream rate (packets per slot) into the
+// l quota G1 must hold: per mean rotation E[SAT_TIME] = S + T_rap + Σ(l+k)
+// (Proposition 3), the stream produces rate·E packets, and raising l by q
+// also lengthens the rotation, so q solves q ≥ rate·(base + q):
+// q = ⌈rate·base / (1 − rate)⌉.
+func (g *Gateway) requiredQuota(rate float64) (int, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("diffserv: non-positive rate %f", rate)
+	}
+	if rate >= 1 {
+		return 0, fmt.Errorf("diffserv: rate %f saturates the ring", rate)
+	}
+	p := g.Ring.RingParams()
+	// base excludes G1's own current l so repeated admissions compose.
+	base := float64(p.S + p.TRap + p.SumLK - int64(g.Station.Quota.L))
+	q := int((rate*base)/(1-rate)) + 1
+	if q < 1 {
+		q = 1
+	}
+	return q, nil
+}
+
+// RequestPremium runs the §2.3 admission dialogue for a LAN→ring premium
+// stream of the given rate (packets per slot). On success the granted l
+// quota is reserved at G1 and the stream may start.
+func (g *Gateway) RequestPremium(rate float64) (granted int, err error) {
+	g.Metrics.Requests++
+	total := g.committedRate + rate
+	q, err := g.requiredQuota(total)
+	if err != nil {
+		g.Metrics.Rejected++
+		return 0, err
+	}
+	newL := g.baseQuota.L + q
+	if g.MaxPremiumQuota > 0 && newL > g.MaxPremiumQuota {
+		g.Metrics.Rejected++
+		return 0, fmt.Errorf("diffserv: required quota %d exceeds gateway cap %d", newL, g.MaxPremiumQuota)
+	}
+	quota := g.Station.Quota
+	quota.L = newL
+	if err := g.Ring.SetQuota(g.Station.ID, quota); err != nil {
+		g.Metrics.Rejected++
+		return 0, err
+	}
+	g.committedRate = total
+	g.Metrics.Admitted++
+	return q, nil
+}
+
+// ReleasePremium returns a previously admitted stream's bandwidth.
+func (g *Gateway) ReleasePremium(rate float64) {
+	g.committedRate -= rate
+	if g.committedRate < 0 {
+		g.committedRate = 0
+	}
+	g.Metrics.ReleasedRate += rate
+	q, err := g.requiredQuota(g.committedRate)
+	if err != nil {
+		q = 0
+	}
+	quota := g.Station.Quota
+	quota.L = g.baseQuota.L + q
+	_ = g.Ring.SetQuota(g.Station.ID, quota)
+}
+
+// FromLAN relays a LAN packet onto the ring toward dst, preserving its
+// class. lanSrc is carried in Ext for end-to-end accounting.
+func (g *Gateway) FromLAN(dst core.StationID, class core.Class, lanSrc int64) {
+	g.Metrics.LANToRing++
+	g.Station.Enqueue(core.Packet{Dst: dst, Class: class, Ext: lanSrc})
+}
+
+// ToLAN relays a ring packet delivered at G1 into the LAN node. Wire it to
+// ring.OnDeliver: packets whose Ext names a LAN host cross the gateway.
+func (g *Gateway) ToLAN(p core.Packet, now sim.Time) {
+	g.Metrics.RingToLAN++
+	g.LAN.Submit(p)
+}

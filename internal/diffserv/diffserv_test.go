@@ -1,0 +1,250 @@
+package diffserv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+)
+
+func TestTokenBucketConformance(t *testing.T) {
+	b := NewTokenBucket(0.1, 3) // starts full with 3
+	now := int64(0)
+	for i := 0; i < 3; i++ {
+		if !b.Conform(now) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if b.Conform(now) {
+		t.Fatal("over-burst accepted")
+	}
+	// After 10 slots one token has refilled.
+	if !b.Conform(now + 10) {
+		t.Fatal("refilled token refused")
+	}
+	if b.Conform(now + 10) {
+		t.Fatal("double spend")
+	}
+}
+
+func TestTokenBucketRateProperty(t *testing.T) {
+	// Property: over a long window, accepted count <= burst + rate*window.
+	err := quick.Check(func(rateRaw, burstRaw uint8) bool {
+		rate := float64(rateRaw%50+1) / 100
+		burst := float64(burstRaw%10 + 1)
+		b := NewTokenBucket(rate, burst)
+		accepted := 0
+		const window = 10000
+		for now := int64(0); now < window; now++ {
+			if b.Conform(now) {
+				accepted++
+			}
+		}
+		return float64(accepted) <= burst+rate*window+1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodePriorityOrder(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k)
+	var out []core.Class
+	n.Out = func(p core.Packet, _ sim.Time) { out = append(out, p.Class) }
+	n.Start()
+	// Enqueue BE first, then Assured, then Premium: service order must be
+	// strict priority regardless of arrival order.
+	n.Submit(core.Packet{Class: core.BestEffort})
+	n.Submit(core.Packet{Class: core.BestEffort})
+	n.Submit(core.Packet{Class: core.Assured})
+	n.Submit(core.Packet{Class: core.Premium})
+	k.Run(10)
+	want := []core.Class{core.Premium, core.Assured, core.BestEffort, core.BestEffort}
+	if len(out) != len(want) {
+		t.Fatalf("forwarded %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("order %v, want %v", out, want)
+		}
+	}
+}
+
+func TestNodeUnitCapacity(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k)
+	count := 0
+	n.Out = func(core.Packet, sim.Time) { count++ }
+	n.Start()
+	for i := 0; i < 50; i++ {
+		n.Submit(core.Packet{Class: core.Premium})
+	}
+	k.Run(20)
+	// Service runs once per slot at t = 0..20 inclusive: 21 opportunities.
+	if count != 21 {
+		t.Fatalf("forwarded %d in slots 0..20 (capacity is 1/slot)", count)
+	}
+}
+
+func TestPremiumPolicingDrops(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k)
+	n.Policer[core.Premium] = NewTokenBucket(0, 2) // only the initial burst
+	n.Start()
+	for i := 0; i < 5; i++ {
+		n.Submit(core.Packet{Class: core.Premium})
+	}
+	if n.Metrics.Accepted[core.Premium] != 2 || n.Metrics.Dropped[core.Premium] != 3 {
+		t.Fatalf("accepted=%d dropped=%d",
+			n.Metrics.Accepted[core.Premium], n.Metrics.Dropped[core.Premium])
+	}
+}
+
+func TestAssuredDemotion(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k)
+	n.Policer[core.Assured] = NewTokenBucket(0, 1)
+	n.Start()
+	n.Submit(core.Packet{Class: core.Assured})
+	n.Submit(core.Packet{Class: core.Assured}) // out of profile -> demoted
+	if n.Metrics.Demoted != 1 {
+		t.Fatalf("demoted=%d", n.Metrics.Demoted)
+	}
+	if n.QueueLen(core.BestEffort) != 1 || n.QueueLen(core.Assured) != 1 {
+		t.Fatalf("queues A=%d BE=%d", n.QueueLen(core.Assured), n.QueueLen(core.BestEffort))
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k)
+	n.QueueCap = 3
+	for i := 0; i < 5; i++ {
+		n.Submit(core.Packet{Class: core.BestEffort})
+	}
+	if n.Metrics.Dropped[core.BestEffort] != 2 {
+		t.Fatalf("dropped=%d", n.Metrics.Dropped[core.BestEffort])
+	}
+}
+
+// buildGatewayRing spins up a small ring with station 0 as the gateway.
+func buildGatewayRing(t *testing.T) (*sim.Kernel, *core.Ring, *Gateway, *Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(9)
+	med := radio.NewMedium(k, rng.Split())
+	n := 6
+	pos := topology.Circle(n, 50)
+	r := topology.ChordLen(n, 50) * 2.5
+	members := make([]core.Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(pos[i], r, nil)
+		members[i] = core.Member{ID: core.StationID(i), Node: node,
+			Code: radio.Code(i + 1), Quota: core.Quota{L: 1, K1: 1, K2: 1}}
+	}
+	ring, err := core.New(k, med, rng.Split(), core.Params{}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Start()
+	lan := NewNode(k)
+	lan.Start()
+	g := NewGateway(ring, ring.Station(0), lan)
+	return k, ring, g, lan
+}
+
+func TestGatewayAdmissionGrantsQuota(t *testing.T) {
+	_, ring, g, _ := buildGatewayRing(t)
+	before := ring.Station(0).Quota.L
+	granted, err := g.RequestPremium(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted < 1 {
+		t.Fatalf("granted %d", granted)
+	}
+	if ring.Station(0).Quota.L != before+granted {
+		t.Fatalf("quota not raised: %d", ring.Station(0).Quota.L)
+	}
+}
+
+func TestGatewayAdmissionRejects(t *testing.T) {
+	_, _, g, _ := buildGatewayRing(t)
+	g.MaxPremiumQuota = 3
+	if _, err := g.RequestPremium(0.5); err == nil {
+		t.Fatal("uncappable stream admitted")
+	}
+	if _, err := g.RequestPremium(1.5); err == nil {
+		t.Fatal("super-unit rate admitted")
+	}
+	if _, err := g.RequestPremium(-1); err == nil {
+		t.Fatal("negative rate admitted")
+	}
+	if g.Metrics.Rejected != 3 {
+		t.Fatalf("rejected=%d", g.Metrics.Rejected)
+	}
+}
+
+func TestGatewayReleaseRestoresQuota(t *testing.T) {
+	_, ring, g, _ := buildGatewayRing(t)
+	base := ring.Station(0).Quota.L
+	if _, err := g.RequestPremium(0.05); err != nil {
+		t.Fatal(err)
+	}
+	g.ReleasePremium(0.05)
+	if got := ring.Station(0).Quota.L; got != base {
+		t.Fatalf("quota after release %d, want %d", got, base)
+	}
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	k, ring, g, lan := buildGatewayRing(t)
+	var lanOut int
+	lan.Out = func(p core.Packet, _ sim.Time) { lanOut++ }
+	ring.OnDeliver = func(p core.Packet, now sim.Time) {
+		if p.Dst == 0 && p.Ext != 0 {
+			g.ToLAN(p, now)
+		}
+	}
+	// LAN -> ring.
+	g.FromLAN(3, core.Premium, 1234)
+	// ring -> LAN.
+	ring.Station(4).Enqueue(core.Packet{Dst: 0, Class: core.Premium, Ext: 777})
+	k.Run(200)
+	if g.Metrics.LANToRing != 1 || g.Metrics.RingToLAN != 1 {
+		t.Fatalf("gateway counters %+v", g.Metrics)
+	}
+	if lanOut != 1 {
+		t.Fatalf("LAN delivered %d", lanOut)
+	}
+	if ring.Metrics.Delivered[core.Premium] != 2 {
+		t.Fatalf("ring delivered %v", ring.Metrics.Delivered)
+	}
+}
+
+func TestAdmissionsCompose(t *testing.T) {
+	// Repeated admissions must account for already-committed rate: the
+	// same total rate admitted in two steps needs at least the one-shot
+	// quota.
+	_, ring, g, _ := buildGatewayRing(t)
+	g1, err := g.RequestPremium(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g.RequestPremium(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ring2, gb, _ := buildGatewayRing(t)
+	one, err := gb.RequestPremium(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Station(0).Quota.L < ring2.Station(0).Quota.L {
+		t.Fatalf("two-step quota %d+%d below one-shot %d", g1, g2, one)
+	}
+}

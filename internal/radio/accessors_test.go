@@ -1,0 +1,80 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func TestAccessorsAndString(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewMedium(k, sim.NewRNG(1))
+	a := m.AddNode(Position{X: 1, Y: 2}, 9, nil)
+	if m.NumNodes() != 1 {
+		t.Fatalf("NumNodes %d", m.NumNodes())
+	}
+	if m.RangeOf(a) != 9 {
+		t.Fatalf("RangeOf %f", m.RangeOf(a))
+	}
+	if p := m.PositionOf(a); p.X != 1 || p.Y != 2 {
+		t.Fatalf("PositionOf %+v", p)
+	}
+	if !m.Alive(a) {
+		t.Fatal("new node not alive")
+	}
+	if !m.ListensTo(a, Broadcast) {
+		t.Fatal("new node not on broadcast code")
+	}
+	if m.ListensTo(a, 7) {
+		t.Fatal("phantom subscription")
+	}
+	m.Listen(a, 7)
+	m.Listen(a, 7) // idempotent
+	if !m.ListensTo(a, 7) {
+		t.Fatal("Listen failed")
+	}
+	m.Unlisten(a, 7)
+	if m.ListensTo(a, 7) {
+		t.Fatal("Unlisten failed")
+	}
+	m.Unlisten(a, 7) // idempotent
+	rx := &recorder{}
+	m.SetReceiver(a, rx)
+	if s := m.String(); !strings.Contains(s, "nodes=1") {
+		t.Fatalf("String: %s", s)
+	}
+}
+
+func TestInRangeAsymmetry(t *testing.T) {
+	_, m := setup(1)
+	a := m.AddNode(Position{X: 0, Y: 0}, 100, nil)
+	b := m.AddNode(Position{X: 50, Y: 0}, 10, nil)
+	if !m.InRange(a, b) {
+		t.Fatal("a should reach b")
+	}
+	if m.InRange(b, a) {
+		t.Fatal("b should not reach a")
+	}
+	if m.InRange(a, a) {
+		t.Fatal("self-range")
+	}
+}
+
+func TestUnsubscribedDeliveryOrderDeterminism(t *testing.T) {
+	// Two codes in one slot: delivery happens in ascending code order, so
+	// a node listening to both sees a fixed sequence.
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{X: 0, Y: 0}, 10, nil)
+	b := m.AddNode(Position{X: 1, Y: 0}, 10, nil)
+	c := m.AddNode(Position{X: 2, Y: 0}, 10, rx)
+	m.Listen(c, 5)
+	m.Listen(c, 3)
+	m.Transmit(a, 5, "five")
+	m.Transmit(b, 3, "three")
+	k.RunAll()
+	if len(rx.frames) != 2 || rx.frames[0] != "three" || rx.frames[1] != "five" {
+		t.Fatalf("delivery order %v", rx.frames)
+	}
+}

@@ -1,0 +1,43 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+type nullReceiver struct{}
+
+func (nullReceiver) OnReceive(Code, Frame, NodeID) {}
+func (nullReceiver) OnCollision(Code)              {}
+
+// BenchmarkDeliverRingSlot measures the cost of one slot's worth of ring
+// traffic: N stations each transmitting one frame to a distinct code —
+// the simulator's hottest loop.
+func BenchmarkDeliverRingSlot(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			k := sim.NewKernel()
+			m := NewMedium(k, sim.NewRNG(1))
+			ids := make([]NodeID, n)
+			for i := 0; i < n; i++ {
+				ids[i] = m.AddNode(Position{X: float64(i % 16), Y: float64(i / 16)}, 3, nullReceiver{})
+				m.Listen(ids[i], Code(i+1))
+			}
+			frame := &struct{ x int }{1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					m.Transmit(ids[j], Code((j+1)%n+1), frame)
+				}
+				k.RunAll()
+			}
+			b.ReportMetric(float64(n), "frames/slot")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return map[int]string{8: "N=8", 32: "N=32", 128: "N=128"}[n]
+}

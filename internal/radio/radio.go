@@ -1,0 +1,337 @@
+// Package radio models the wireless physical layer the paper assumes:
+// a population of stations on a plane, unit-disk connectivity, CDMA code
+// channels that isolate concurrent transmissions, a common broadcast code,
+// and optional random signal loss.
+//
+// The model captures exactly the three properties WRT-Ring's correctness
+// depends on: (a) who can hear whom (hidden terminals arise from geometry),
+// (b) transmissions on different codes never interfere, while concurrent
+// same-code transmissions collide at any receiver that hears more than one
+// of them, and (c) signals are occasionally lost, which is what the SAT-loss
+// machinery must recover from.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// NodeID identifies a station at the physical layer.
+type NodeID int
+
+// Code is a CDMA spreading code. Code 0 is reserved as the common broadcast
+// code every station always listens to.
+type Code int
+
+// Broadcast is the common code shared by all stations (§2.1: used only when
+// the network topology changes).
+const Broadcast Code = 0
+
+// Frame is an opaque protocol payload carried by the medium.
+type Frame any
+
+// Receiver is implemented by protocol entities bound to a node.
+type Receiver interface {
+	// OnReceive delivers a frame heard on a code the node listens to.
+	OnReceive(code Code, frame Frame, from NodeID)
+	// OnCollision reports that concurrent same-code transmissions corrupted
+	// reception on the given code during the previous slot.
+	OnCollision(code Code)
+}
+
+// Position is a point on the 2-D plane, in arbitrary distance units.
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+type node struct {
+	pos      Position
+	rng      float64 // transmission range
+	listen   map[Code]bool
+	receiver Receiver
+	alive    bool
+}
+
+// listenerIndex maps each code to the sorted set of nodes subscribed to it,
+// so delivery touches only potential receivers instead of scanning every
+// node per code group (the simulator's hottest loop).
+type listenerIndex map[Code][]NodeID
+
+func (ix listenerIndex) add(code Code, id NodeID) {
+	l := ix[code]
+	for _, v := range l {
+		if v == id {
+			return
+		}
+	}
+	l = append(l, id)
+	// Keep sorted for deterministic delivery order.
+	for i := len(l) - 1; i > 0 && l[i] < l[i-1]; i-- {
+		l[i], l[i-1] = l[i-1], l[i]
+	}
+	ix[code] = l
+}
+
+func (ix listenerIndex) remove(code Code, id NodeID) {
+	l := ix[code]
+	for i, v := range l {
+		if v == id {
+			ix[code] = append(l[:i], l[i+1:]...)
+			return
+		}
+	}
+}
+
+type transmission struct {
+	from NodeID
+	code Code
+	data Frame
+}
+
+// Medium is the shared wireless channel. All methods must be called from
+// simulation-kernel events (single-threaded).
+type Medium struct {
+	kernel    *sim.Kernel
+	rng       *sim.RNG
+	nodes     []*node
+	listeners listenerIndex
+	pending   []transmission
+	spare     []transmission // recycled backing array for pending
+	flush     bool
+
+	// Scratch buffers reused across slots to keep delivery allocation-free
+	// in steady state.
+	scratchCodes []Code
+	scratchGroup map[Code][]transmission
+
+	// LossProb is the independent probability that any single frame is lost
+	// in transit even without collision (fading, interference bursts).
+	LossProb float64
+	// ControlLossProb, when >= 0, overrides LossProb for control frames
+	// (identified by the IsControl interface below); -1 means "use LossProb".
+	ControlLossProb float64
+
+	// Stats.
+	Sent       int64
+	Delivered  int64
+	Collisions int64
+	Lost       int64
+}
+
+// IsControl may be implemented by frames to opt into ControlLossProb.
+type IsControl interface{ Control() bool }
+
+// NewMedium creates a medium bound to the kernel with randomness drawn from
+// rng.
+func NewMedium(k *sim.Kernel, rng *sim.RNG) *Medium {
+	return &Medium{
+		kernel: k, rng: rng, ControlLossProb: -1,
+		listeners:    listenerIndex{},
+		scratchGroup: map[Code][]transmission{},
+	}
+}
+
+// AddNode registers a station at pos with the given transmission range and
+// returns its NodeID. The node starts alive and listening only to the
+// broadcast code.
+func (m *Medium) AddNode(pos Position, txRange float64, r Receiver) NodeID {
+	n := &node{pos: pos, rng: txRange, listen: map[Code]bool{Broadcast: true}, receiver: r, alive: true}
+	m.nodes = append(m.nodes, n)
+	id := NodeID(len(m.nodes) - 1)
+	m.listeners.add(Broadcast, id)
+	return id
+}
+
+// NumNodes returns the number of registered nodes (alive or not).
+func (m *Medium) NumNodes() int { return len(m.nodes) }
+
+// SetReceiver rebinds the protocol entity of a node.
+func (m *Medium) SetReceiver(id NodeID, r Receiver) { m.nodes[id].receiver = r }
+
+// SetPosition moves a node (mobility support).
+func (m *Medium) SetPosition(id NodeID, pos Position) { m.nodes[id].pos = pos }
+
+// PositionOf returns a node's current position.
+func (m *Medium) PositionOf(id NodeID) Position { return m.nodes[id].pos }
+
+// RangeOf returns a node's transmission range.
+func (m *Medium) RangeOf(id NodeID) float64 { return m.nodes[id].rng }
+
+// SetAlive marks a node up or down. Dead nodes neither transmit nor receive;
+// in-flight frames addressed to them are silently dropped.
+func (m *Medium) SetAlive(id NodeID, alive bool) { m.nodes[id].alive = alive }
+
+// Alive reports whether a node is up.
+func (m *Medium) Alive(id NodeID) bool { return m.nodes[id].alive }
+
+// Listen subscribes a node to a code; a node can listen to several codes at
+// once (its own receiver code plus the broadcast code, typically).
+func (m *Medium) Listen(id NodeID, code Code) {
+	m.nodes[id].listen[code] = true
+	m.listeners.add(code, id)
+}
+
+// Unlisten unsubscribes a node from a code.
+func (m *Medium) Unlisten(id NodeID, code Code) {
+	delete(m.nodes[id].listen, code)
+	m.listeners.remove(code, id)
+}
+
+// ListensTo reports whether the node is subscribed to code.
+func (m *Medium) ListensTo(id NodeID, code Code) bool { return m.nodes[id].listen[code] }
+
+// InRange reports whether b is within a's transmission range.
+func (m *Medium) InRange(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	return na.pos.Dist(nb.pos) <= na.rng
+}
+
+// Connected reports whether a and b are mutually in range (symmetric links
+// assume equal ranges; with unequal ranges both directions are checked).
+func (m *Medium) Connected(a, b NodeID) bool {
+	return m.InRange(a, b) && m.InRange(b, a)
+}
+
+// Neighbors returns all alive nodes mutually connected to id.
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for j := range m.nodes {
+		jid := NodeID(j)
+		if jid == id || !m.nodes[j].alive {
+			continue
+		}
+		if m.Connected(id, jid) {
+			out = append(out, jid)
+		}
+	}
+	return out
+}
+
+// Transmit queues a frame for propagation during the current slot. Delivery
+// (or collision indication) happens at the start of the next slot, modelling
+// the one-slot-per-hop timing of the slotted ring.
+func (m *Medium) Transmit(from NodeID, code Code, frame Frame) {
+	if !m.nodes[from].alive {
+		return
+	}
+	m.Sent++
+	m.pending = append(m.pending, transmission{from: from, code: code, data: frame})
+	if !m.flush {
+		m.flush = true
+		m.kernel.After(1, sim.PrioControl, m.deliver)
+	}
+}
+
+// deliver resolves all of the previous slot's transmissions. The loop only
+// visits each code group's subscribed listeners (not every node), keeping
+// one slot's ring traffic O(N) instead of O(N²); scratch buffers are
+// reused so steady-state delivery does not allocate.
+func (m *Medium) deliver() {
+	// Double-buffer the pending list: receivers may (in principle) enqueue
+	// new transmissions while we iterate the old batch.
+	batch := m.pending
+	m.pending = m.spare[:0]
+	m.spare = batch
+	m.flush = false
+	if len(batch) == 0 {
+		return
+	}
+	// Group concurrent transmissions per code to detect collisions; codes
+	// are visited in sorted order so delivery is deterministic.
+	byCode := m.scratchGroup
+	codes := m.scratchCodes[:0]
+	for _, tx := range batch {
+		g := byCode[tx.code]
+		if len(g) == 0 {
+			// First transmission on this code this slot (reset groups keep
+			// their zero-length backing arrays between slots).
+			codes = append(codes, tx.code)
+		}
+		byCode[tx.code] = append(g, tx)
+	}
+	sortCodes(codes)
+	for _, code := range codes {
+		txs := byCode[code]
+		for _, id := range m.listeners[code] {
+			n := m.nodes[id]
+			if !n.alive {
+				continue
+			}
+			// Which of the concurrent same-code transmissions does this
+			// node hear? CDMA isolates different codes entirely; within a
+			// code, hearing two talkers at once corrupts both.
+			var heard int
+			var only transmission
+			for _, tx := range txs {
+				if tx.from == id {
+					continue // a station does not hear itself
+				}
+				if m.nodes[tx.from].pos.Dist(n.pos) <= m.nodes[tx.from].rng {
+					heard++
+					only = tx
+					if heard > 1 {
+						break
+					}
+				}
+			}
+			switch heard {
+			case 0:
+				// nothing reaches this node
+			case 1:
+				if m.lose(only.data) {
+					m.Lost++
+					continue
+				}
+				m.Delivered++
+				if n.receiver != nil {
+					n.receiver.OnReceive(code, only.data, only.from)
+				}
+			default:
+				m.Collisions++
+				if n.receiver != nil {
+					n.receiver.OnCollision(code)
+				}
+			}
+		}
+	}
+	// Reset scratch state for the next slot.
+	for _, code := range codes {
+		byCode[code] = byCode[code][:0]
+	}
+	m.scratchCodes = codes[:0]
+}
+
+// sortCodes is a small insertion sort: the per-slot code count is tiny and
+// usually nearly sorted, so this beats sort.Slice without allocating.
+func sortCodes(cs []Code) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func (m *Medium) lose(f Frame) bool {
+	p := m.LossProb
+	if c, ok := f.(IsControl); ok && c.Control() && m.ControlLossProb >= 0 {
+		p = m.ControlLossProb
+	}
+	return m.rng.Bool(p)
+}
+
+// String summarises channel statistics.
+func (m *Medium) String() string {
+	return fmt.Sprintf("radio{nodes=%d sent=%d delivered=%d collisions=%d lost=%d}",
+		len(m.nodes), m.Sent, m.Delivered, m.Collisions, m.Lost)
+}

@@ -1,0 +1,287 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+type recorder struct {
+	frames     []Frame
+	froms      []NodeID
+	codes      []Code
+	collisions []Code
+}
+
+func (r *recorder) OnReceive(code Code, f Frame, from NodeID) {
+	r.frames = append(r.frames, f)
+	r.froms = append(r.froms, from)
+	r.codes = append(r.codes, code)
+}
+func (r *recorder) OnCollision(code Code) { r.collisions = append(r.collisions, code) }
+
+func setup(seed uint64) (*sim.Kernel, *Medium) {
+	k := sim.NewKernel()
+	return k, NewMedium(k, sim.NewRNG(seed))
+}
+
+func TestDeliveryWithinRange(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.Transmit(a, 7, "hello")
+	k.RunAll()
+	if len(rx.frames) != 1 || rx.frames[0] != "hello" || rx.froms[0] != a {
+		t.Fatalf("frames=%v froms=%v", rx.frames, rx.froms)
+	}
+	if k.Now() != 1 {
+		t.Fatalf("delivery at %d, want slot 1", k.Now())
+	}
+}
+
+func TestNoDeliveryOutOfRange(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{50, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.Transmit(a, 7, "hello")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatalf("out-of-range node received %v", rx.frames)
+	}
+}
+
+func TestCodeFiltering(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.Transmit(a, 9, "wrong code")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatalf("received on unsubscribed code: %v", rx.frames)
+	}
+}
+
+func TestCDMAIsolation(t *testing.T) {
+	// Figure 1: A→B on one code and C→D on another, simultaneously, both
+	// in range of everyone: no collision thanks to CDMA.
+	k, m := setup(1)
+	rxB, rxD := &recorder{}, &recorder{}
+	a := m.AddNode(Position{0, 0}, 100, nil)
+	b := m.AddNode(Position{1, 0}, 100, rxB)
+	c := m.AddNode(Position{2, 0}, 100, nil)
+	d := m.AddNode(Position{3, 0}, 100, rxD)
+	m.Listen(b, 2)
+	m.Listen(d, 4)
+	m.Transmit(a, 2, "a->b")
+	m.Transmit(c, 4, "c->d")
+	k.RunAll()
+	if len(rxB.frames) != 1 || rxB.frames[0] != "a->b" {
+		t.Fatalf("B got %v", rxB.frames)
+	}
+	if len(rxD.frames) != 1 || rxD.frames[0] != "c->d" {
+		t.Fatalf("D got %v", rxD.frames)
+	}
+	if len(rxB.collisions)+len(rxD.collisions) != 0 {
+		t.Fatal("CDMA codes collided")
+	}
+}
+
+func TestSameCodeCollision(t *testing.T) {
+	// Without distinct codes the same scenario corrupts B's reception.
+	k, m := setup(1)
+	rxB := &recorder{}
+	a := m.AddNode(Position{0, 0}, 100, nil)
+	b := m.AddNode(Position{1, 0}, 100, rxB)
+	c := m.AddNode(Position{2, 0}, 100, nil)
+	m.Listen(b, 2)
+	m.Transmit(a, 2, "a->b")
+	m.Transmit(c, 2, "c->b")
+	k.RunAll()
+	if len(rxB.frames) != 0 {
+		t.Fatalf("collision delivered data: %v", rxB.frames)
+	}
+	if len(rxB.collisions) != 1 {
+		t.Fatalf("collisions = %v", rxB.collisions)
+	}
+	if m.Collisions != 1 {
+		t.Fatalf("medium collision count = %d", m.Collisions)
+	}
+}
+
+func TestHiddenTerminalCapture(t *testing.T) {
+	// A and C share a code but C is out of B's hearing: B receives A
+	// cleanly — the geometric capture that makes two-hop code reuse valid.
+	k, m := setup(1)
+	rxB := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rxB)
+	c := m.AddNode(Position{100, 0}, 10, nil)
+	m.Listen(b, 2)
+	m.Transmit(a, 2, "a->b")
+	m.Transmit(c, 2, "c->far")
+	k.RunAll()
+	if len(rxB.frames) != 1 {
+		t.Fatalf("capture failed: frames=%v collisions=%v", rxB.frames, rxB.collisions)
+	}
+}
+
+func TestSenderDoesNotHearItself(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, rx)
+	m.Listen(a, 2)
+	m.Transmit(a, 2, "echo?")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatal("station heard its own transmission")
+	}
+}
+
+func TestDeadNodesNeitherSendNorReceive(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 2)
+	m.SetAlive(b, false)
+	m.Transmit(a, 2, "to the dead")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatal("dead node received")
+	}
+	m.SetAlive(a, false)
+	m.Transmit(a, 2, "from the dead")
+	k.RunAll()
+	if m.Sent != 1 {
+		t.Fatalf("dead node transmitted: sent=%d", m.Sent)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	k, m := setup(42)
+	m.LossProb = 0.5
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 2)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Transmit(a, 2, i)
+		k.RunAll()
+	}
+	got := len(rx.frames)
+	if got < n*4/10 || got > n*6/10 {
+		t.Fatalf("with 50%% loss, delivered %d of %d", got, n)
+	}
+	if m.Lost != int64(n-got) {
+		t.Fatalf("lost counter %d, want %d", m.Lost, n-got)
+	}
+}
+
+type ctrlFrame struct{}
+
+func (ctrlFrame) Control() bool { return true }
+
+func TestControlLossOverride(t *testing.T) {
+	k, m := setup(7)
+	m.LossProb = 0
+	m.ControlLossProb = 1 // every control frame dies
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 2)
+	m.Transmit(a, 2, ctrlFrame{})
+	k.RunAll()
+	m.Transmit(a, 2, "data")
+	k.RunAll()
+	if len(rx.frames) != 1 || rx.frames[0] != "data" {
+		t.Fatalf("frames = %v", rx.frames)
+	}
+	if m.Lost != 1 {
+		t.Fatalf("lost = %d", m.Lost)
+	}
+}
+
+func TestBroadcastCode(t *testing.T) {
+	k, m := setup(1)
+	rxs := make([]*recorder, 4)
+	var ids []NodeID
+	for i := range rxs {
+		rxs[i] = &recorder{}
+		ids = append(ids, m.AddNode(Position{float64(i), 0}, 10, rxs[i]))
+	}
+	m.Transmit(ids[0], Broadcast, "announce")
+	k.RunAll()
+	for i := 1; i < 4; i++ {
+		if len(rxs[i].frames) != 1 {
+			t.Fatalf("node %d missed broadcast", i)
+		}
+	}
+	if len(rxs[0].frames) != 0 {
+		t.Fatal("sender heard own broadcast")
+	}
+}
+
+func TestNeighborsAndConnectivity(t *testing.T) {
+	_, m := setup(1)
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, nil)
+	c := m.AddNode(Position{9, 0}, 3, nil) // hears... is in a's range? dist(a,c)=9<=10 but c's range 3 < 9: asymmetric
+	if !m.Connected(a, b) || !m.Connected(b, a) {
+		t.Fatal("a-b should be connected")
+	}
+	if m.Connected(a, c) {
+		t.Fatal("asymmetric link must not count as connected")
+	}
+	nbrs := m.Neighbors(a)
+	if len(nbrs) != 1 || nbrs[0] != b {
+		t.Fatalf("neighbors of a = %v", nbrs)
+	}
+	m.SetAlive(b, false)
+	if len(m.Neighbors(a)) != 0 {
+		t.Fatal("dead neighbour listed")
+	}
+}
+
+func TestSetPositionMobility(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{100, 0}, 10, rx)
+	m.Listen(b, 2)
+	m.Transmit(a, 2, "far")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatal("received while far")
+	}
+	m.SetPosition(b, Position{5, 0})
+	m.Transmit(a, 2, "near")
+	k.RunAll()
+	if len(rx.frames) != 1 {
+		t.Fatal("not received after moving close")
+	}
+}
+
+func TestMultipleFramesSameTransmitterDifferentCodes(t *testing.T) {
+	// One transmitter may encode several frames on different codes in the
+	// same slot (slot + CUT during a splice) without self-collision.
+	k, m := setup(1)
+	rx1, rx2 := &recorder{}, &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx1)
+	c := m.AddNode(Position{-5, 0}, 10, rx2)
+	m.Listen(b, 2)
+	m.Listen(c, 3)
+	m.Transmit(a, 2, "for b")
+	m.Transmit(a, 3, "for c")
+	k.RunAll()
+	if len(rx1.frames) != 1 || len(rx2.frames) != 1 {
+		t.Fatalf("b=%v c=%v", rx1.frames, rx2.frames)
+	}
+}

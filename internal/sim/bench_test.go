@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func BenchmarkKernelScheduleAndFire(b *testing.B) {
+	k := NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(1, PrioSlot, func() {})
+		k.Step()
+	}
+}
+
+func BenchmarkKernelDeepQueue(b *testing.B) {
+	// Sustained load with a deep queue: 1024 outstanding events.
+	k := NewKernel()
+	for i := 0; i < 1024; i++ {
+		k.After(Time(i+1), PrioSlot, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(1024, PrioSlot, func() {})
+		k.Step()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkRNGExpSlots(b *testing.B) {
+	r := NewRNG(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.ExpSlots(100)
+	}
+	_ = sink
+}

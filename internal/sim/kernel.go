@@ -1,0 +1,231 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every protocol model in this repository.
+//
+// Time is measured in integer slots, matching the paper's convention of
+// normalising all time quantities to the slot duration. Events scheduled for
+// the same slot are ordered by an explicit priority and then by insertion
+// sequence, so a given seed always produces the same trace.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in slot units.
+type Time int64
+
+// Priority orders events that fire in the same slot. Lower values run first.
+// The bands below keep protocol phases deterministic: signal propagation
+// happens before stations make transmit decisions, which happen before
+// application-level arrivals are examined, which happen before per-slot
+// metric sampling.
+type Priority int
+
+// Priority bands for same-slot event ordering.
+const (
+	PrioControl Priority = 0   // control-signal (SAT/token) propagation
+	PrioSlot    Priority = 10  // slot circulation / transmit decisions
+	PrioTraffic Priority = 20  // traffic generation, queue arrivals
+	PrioTimer   Priority = 30  // protocol timers (SAT_TIMER, token timers)
+	PrioAdmin   Priority = 40  // topology changes, joins, kills
+	PrioStats   Priority = 100 // sampling and bookkeeping
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	prio Priority
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Scheduled reports whether the handle refers to an event that has neither
+// fired nor been cancelled.
+func (h Handle) Scheduled() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Trace, when non-nil, receives a line for every fired event if the
+	// event was scheduled with ScheduleNamed.
+	Trace func(t Time, name string)
+	fired uint64
+}
+
+// NewKernel returns an empty kernel at time 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far (useful for tests and
+// runaway detection).
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn at an absolute time with the given priority.
+// Scheduling in the past panics: it always indicates a protocol bug.
+func (k *Kernel) At(t Time, prio Priority, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	ev := &event{at: t, prio: prio, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn delay slots from now.
+func (k *Kernel) After(delay Time, prio Priority, fn func()) Handle {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return k.At(k.now+delay, prio, fn)
+}
+
+// ScheduleNamed is After with a trace label emitted when the event fires.
+func (k *Kernel) ScheduleNamed(delay Time, prio Priority, name string, fn func()) Handle {
+	return k.After(delay, prio, func() {
+		if k.Trace != nil {
+			k.Trace(k.now, name)
+		}
+		fn()
+	})
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = ev.at
+		k.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// passes until (events at exactly until still run). It returns the time at
+// which execution stopped.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.peek()
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			k.now = until
+			break
+		}
+		k.Step()
+	}
+	if k.now < until && len(k.queue) == 0 {
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (k *Kernel) RunAll() Time {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+	return k.now
+}
+
+func (k *Kernel) peek() *event {
+	for len(k.queue) > 0 {
+		ev := k.queue[0]
+		if ev.dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// EverySlot registers fn to run once per slot at the given priority,
+// starting at start, until it returns false. Used for slot-synchronous
+// machinery such as ring advancement.
+func (k *Kernel) EverySlot(start Time, prio Priority, fn func(t Time) bool) {
+	var tick func()
+	tick = func() {
+		if !fn(k.now) {
+			return
+		}
+		k.After(1, prio, tick)
+	}
+	k.At(start, prio, tick)
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdersByTime(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, PrioSlot, func() { got = append(got, 3) })
+	k.At(10, PrioSlot, func() { got = append(got, 1) })
+	k.At(20, PrioSlot, func() { got = append(got, 2) })
+	k.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("now = %d", k.Now())
+	}
+}
+
+func TestKernelOrdersByPriorityWithinSlot(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.At(5, PrioStats, func() { got = append(got, "stats") })
+	k.At(5, PrioControl, func() { got = append(got, "control") })
+	k.At(5, PrioTimer, func() { got = append(got, "timer") })
+	k.At(5, PrioSlot, func() { got = append(got, "slot") })
+	k.RunAll()
+	want := []string{"control", "slot", "timer", "stats"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestKernelFIFOWithinSamePriority(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(7, PrioSlot, func() { got = append(got, i) })
+	}
+	k.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("insertion order not preserved at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	h := k.At(10, PrioSlot, func() { fired = true })
+	if !h.Scheduled() {
+		t.Fatal("handle should be scheduled")
+	}
+	h.Cancel()
+	k.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if h.Scheduled() {
+		t.Fatal("cancelled handle still scheduled")
+	}
+	// Double cancel is a no-op.
+	h.Cancel()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, PrioSlot, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(5, PrioSlot, func() {})
+	})
+	k.RunAll()
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		k.At(at, PrioSlot, func() { fired = append(fired, at) })
+	}
+	k.Run(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 10", fired)
+	}
+	if k.Now() != 12 {
+		t.Fatalf("now = %d, want 12", k.Now())
+	}
+	k.Run(100)
+	if len(fired) != 4 {
+		t.Fatalf("remaining events did not fire: %v", fired)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			k.Stop()
+		}
+		k.After(1, PrioSlot, tick)
+	}
+	k.At(0, PrioSlot, tick)
+	k.Run(1000)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestEverySlot(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.EverySlot(3, PrioSlot, func(t Time) bool {
+		times = append(times, t)
+		return t < 7
+	})
+	k.RunAll()
+	want := []Time{3, 4, 5, 6, 7}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(124)
+	same := 0
+	a2 := NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const buckets, samples = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for i, c := range counts {
+		if c < samples/buckets*8/10 || c > samples/buckets*12/10 {
+			t.Fatalf("bucket %d count %d far from %d", i, c, samples/buckets)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestRNGExpSlots(t *testing.T) {
+	r := NewRNG(5)
+	var sum int64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpSlots(50)
+		if v < 1 {
+			t.Fatalf("ExpSlots returned %d", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 45 || mean > 56 {
+		t.Fatalf("exp mean = %.2f, want ~50", mean)
+	}
+	if r.ExpSlots(0.5) != 1 {
+		t.Fatal("sub-slot mean must clamp to 1")
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("not a permutation: %v", p)
+		}
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(13)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if hits < 28000 || hits > 32000 {
+		t.Fatalf("Bool(0.3) hit rate %d/100000", hits)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("parent and child correlate: %d matches", matches)
+	}
+}
+
+func TestKernelManyEventsProperty(t *testing.T) {
+	// Property: any batch of (time, priority) pairs fires in nondecreasing
+	// (time, priority) order.
+	err := quick.Check(func(raw []uint16) bool {
+		k := NewKernel()
+		type key struct {
+			at   Time
+			prio Priority
+		}
+		var fired []key
+		for _, v := range raw {
+			at := Time(v % 97)
+			prio := Priority(v % 5)
+			k.At(at, prio, func() { fired = append(fired, key{k.Now(), prio}) })
+		}
+		k.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].prio < fired[i-1].prio {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package stats provides the measurement primitives shared by the protocol
+// models and the benchmark harness: streaming moments, histograms with
+// quantiles, time-weighted averages and deadline accounting.
+//
+// All collectors are plain single-threaded value types driven by the
+// simulation kernel; none of them touch wall-clock time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without storing samples.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than 2 samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// String summarises the accumulator for reports.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.0f max=%.0f",
+		w.n, w.Mean(), w.Std(), w.Min(), w.Max())
+}
+
+// Histogram stores integer-valued samples exactly (bounded domain expected:
+// delays in slots) and answers quantile queries. Values above Cap land in an
+// overflow bucket counted but excluded from quantiles' interior.
+type Histogram struct {
+	buckets  []int64
+	overflow int64
+	n        int64
+	sum      int64
+	maxSeen  int64
+}
+
+// NewHistogram creates a histogram for values in [0, cap].
+func NewHistogram(capValue int) *Histogram {
+	if capValue < 1 {
+		capValue = 1
+	}
+	return &Histogram{buckets: make([]int64, capValue+1)}
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	h.n++
+	h.sum += v
+	if int(v) >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[v]++
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest sample seen (even if it overflowed the range).
+func (h *Histogram) Max() int64 { return h.maxSeen }
+
+// Quantile returns the smallest value v such that at least q of the samples
+// are <= v. Overflowed samples count as larger than every bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return int64(v)
+		}
+	}
+	return h.maxSeen
+}
+
+// Counter is a named monotonic counter.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.Value += delta }
+
+// TimeWeighted tracks the time-average of a piecewise-constant quantity
+// (e.g. queue length) over virtual time.
+type TimeWeighted struct {
+	lastT    int64
+	lastV    float64
+	area     float64
+	started  bool
+	startT   int64
+	maxValue float64
+}
+
+// Update records that the quantity changed to v at time t.
+func (tw *TimeWeighted) Update(t int64, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.startT = t
+	} else {
+		tw.area += tw.lastV * float64(t-tw.lastT)
+	}
+	tw.lastT = t
+	tw.lastV = v
+	if v > tw.maxValue {
+		tw.maxValue = v
+	}
+}
+
+// Average returns the time average up to time t.
+func (tw *TimeWeighted) Average(t int64) float64 {
+	if !tw.started || t <= tw.startT {
+		return 0
+	}
+	area := tw.area + tw.lastV*float64(t-tw.lastT)
+	return area / float64(t-tw.startT)
+}
+
+// Maximum returns the largest value ever recorded.
+func (tw *TimeWeighted) Maximum() float64 { return tw.maxValue }
+
+// Deadline tracks deadline-bounded deliveries.
+type Deadline struct {
+	Met    int64
+	Missed int64
+	// Lateness accumulates slots of lateness of missed deliveries.
+	Lateness Welford
+}
+
+// Record registers a delivery with the given delay against a deadline.
+func (d *Deadline) Record(delay, deadline int64) {
+	if delay <= deadline {
+		d.Met++
+		return
+	}
+	d.Missed++
+	d.Lateness.Add(float64(delay - deadline))
+}
+
+// MissRatio returns missed/(met+missed), or 0 when nothing was recorded.
+func (d *Deadline) MissRatio() float64 {
+	total := d.Met + d.Missed
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Missed) / float64(total)
+}
+
+// Series is an append-only (x, y) series for report tables.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Percentile computes the p-th percentile of a sample slice (nearest-rank).
+// It copies and sorts the input; the original is untouched.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	samples := []float64{4, 8, 15, 16, 23, 42}
+	var w Welford
+	for _, s := range samples {
+		w.Add(s)
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	varSum := 0.0
+	for _, s := range samples {
+		varSum += (s - mean) * (s - mean)
+	}
+	wantVar := varSum / float64(len(samples)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %f want %f", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-wantVar) > 1e-9 {
+		t.Fatalf("var %f want %f", w.Var(), wantVar)
+	}
+	if w.Min() != 4 || w.Max() != 42 {
+		t.Fatalf("min/max %f/%f", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty accumulator not all-zero")
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatalf("single sample: %s", w.String())
+	}
+}
+
+func TestWelfordPropertyMeanWithinRange(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			w.Add(x)
+			n++
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-6 && w.Mean() <= hi+1e-6 && w.Var() >= -1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(100)
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("median %d", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 %d", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 %d", q)
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean %f", h.Mean())
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(-5) // clamps to 0
+	h.Add(5)
+	h.Add(1000) // overflow bucket
+	if h.N() != 3 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("overflowed p100 = %d", q)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		h := NewHistogram(255)
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(0, 0)  // 0 until t=10
+	tw.Update(10, 4) // 4 until t=20
+	tw.Update(20, 2) // 2 until t=30
+	got := tw.Average(30)
+	want := (0.0*10 + 4*10 + 2*10) / 30
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg %f want %f", got, want)
+	}
+	if tw.Maximum() != 4 {
+		t.Fatalf("max %f", tw.Maximum())
+	}
+	var empty TimeWeighted
+	if empty.Average(10) != 0 {
+		t.Fatal("empty average not 0")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	var d Deadline
+	d.Record(10, 20) // met
+	d.Record(25, 20) // missed by 5
+	d.Record(20, 20) // met (boundary)
+	if d.Met != 2 || d.Missed != 1 {
+		t.Fatalf("met=%d missed=%d", d.Met, d.Missed)
+	}
+	if r := d.MissRatio(); math.Abs(r-1.0/3) > 1e-9 {
+		t.Fatalf("ratio %f", r)
+	}
+	if d.Lateness.Mean() != 5 {
+		t.Fatalf("lateness %f", d.Lateness.Mean())
+	}
+	var empty Deadline
+	if empty.MissRatio() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "x"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("value %d", c.Value)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if p := Percentile(xs, 100); p != 9 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %f", p)
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[8] != 5 {
+		t.Fatal("input mutated")
+	}
+}

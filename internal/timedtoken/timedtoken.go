@@ -1,0 +1,91 @@
+// Package timedtoken implements the timed-token MAC accounting (Malcolm &
+// Zhao, IEEE Computer 1994) that TPT inherits its delay bound from: a
+// Target Token Rotation Time (TTRT) is negotiated, each station reserves a
+// synchronous bandwidth H_i, and asynchronous traffic may only use the
+// token when it arrives early. The protocol property exploited by the
+// paper's comparison is that the token rotation time never exceeds 2·TTRT.
+package timedtoken
+
+import "fmt"
+
+// Account tracks the timed-token state of one station.
+type Account struct {
+	// TTRT is the negotiated target token rotation time, in slots.
+	TTRT int64
+	// H is this station's synchronous reservation per rotation, in slots
+	// (equivalently packets, with one-slot packets).
+	H int64
+
+	lastArrival int64
+	seen        bool
+
+	// LateCount implements the standard timed-token lateness accounting:
+	// rotations longer than TTRT carry a debt that suppresses asynchronous
+	// transmission in following rotations.
+	lateness int64
+}
+
+// NewAccount creates an account with the given TTRT and reservation.
+func NewAccount(ttrt, h int64) *Account {
+	return &Account{TTRT: ttrt, H: h}
+}
+
+// OnArrival registers a token arrival at virtual time now and returns the
+// transmission allowances for this visit: sync is the synchronous quota
+// (always H), async is the asynchronous allowance (the token's earliness,
+// zero when the token is late).
+func (a *Account) OnArrival(now int64) (sync, async int64) {
+	if !a.seen {
+		a.seen = true
+		a.lastArrival = now
+		// First visit: no rotation history, so no asynchronous allowance.
+		// (Granting earliness here would let a burst right after startup
+		// push the rotation past the 2·TTRT guarantee.)
+		return a.H, 0
+	}
+	rot := now - a.lastArrival
+	a.lastArrival = now
+	early := a.TTRT - rot
+	if early < 0 {
+		// Late token: the debt is carried forward (standard timed-token
+		// behaviour), further suppressing async traffic next time.
+		a.lateness = -early
+		return a.H, 0
+	}
+	async = early - a.lateness
+	a.lateness = 0
+	if async < 0 {
+		async = 0
+	}
+	return a.H, async
+}
+
+// LastRotation returns the most recent measured rotation (0 before the
+// second visit).
+func (a *Account) LastRotation(now int64) int64 {
+	if !a.seen {
+		return 0
+	}
+	return now - a.lastArrival
+}
+
+// Reset clears rotation history (used after tree rebuilds).
+func (a *Account) Reset() {
+	a.seen = false
+	a.lateness = 0
+}
+
+// MaxRotation is the protocol-level guarantee the loss timers rely on: the
+// token rotation time never exceeds 2·TTRT.
+func (a *Account) MaxRotation() int64 { return 2 * a.TTRT }
+
+// Validate checks the reservation against the TTRT.
+func (a *Account) Validate() error {
+	if a.TTRT <= 0 {
+		return fmt.Errorf("timedtoken: TTRT=%d must be positive", a.TTRT)
+	}
+	if a.H < 0 || a.H > a.TTRT {
+		return fmt.Errorf("timedtoken: H=%d outside [0, TTRT=%d]", a.H, a.TTRT)
+	}
+	return nil
+}

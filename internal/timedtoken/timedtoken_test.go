@@ -1,0 +1,107 @@
+package timedtoken
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstVisitGrantsNoAsync(t *testing.T) {
+	a := NewAccount(100, 10)
+	sync, async := a.OnArrival(0)
+	if sync != 10 || async != 0 {
+		t.Fatalf("first visit: sync=%d async=%d", sync, async)
+	}
+}
+
+func TestEarlyTokenGrantsEarliness(t *testing.T) {
+	a := NewAccount(100, 10)
+	a.OnArrival(0)
+	sync, async := a.OnArrival(60) // 40 early
+	if sync != 10 || async != 40 {
+		t.Fatalf("sync=%d async=%d", sync, async)
+	}
+}
+
+func TestLateTokenSuppressesAsync(t *testing.T) {
+	a := NewAccount(100, 10)
+	a.OnArrival(0)
+	sync, async := a.OnArrival(130) // 30 late
+	if sync != 10 || async != 0 {
+		t.Fatalf("late: sync=%d async=%d", sync, async)
+	}
+	// Lateness debt carries: next rotation 80 (20 early) only grants
+	// 20 - 30 < 0 => 0.
+	_, async = a.OnArrival(210)
+	if async != 0 {
+		t.Fatalf("debt not carried: async=%d", async)
+	}
+	// Once the debt is cleared, earliness flows again.
+	_, async = a.OnArrival(260) // rotation 50, 50 early, debt zeroed before
+	if async != 50 {
+		t.Fatalf("async=%d", async)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := NewAccount(100, 10)
+	a.OnArrival(0)
+	a.OnArrival(130)
+	a.Reset()
+	sync, async := a.OnArrival(500)
+	if sync != 10 || async != 0 {
+		t.Fatalf("after reset: sync=%d async=%d", sync, async)
+	}
+}
+
+func TestMaxRotation(t *testing.T) {
+	a := NewAccount(70, 5)
+	if a.MaxRotation() != 140 {
+		t.Fatalf("max rotation %d", a.MaxRotation())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewAccount(0, 0).Validate(); err == nil {
+		t.Fatal("TTRT=0 accepted")
+	}
+	if err := NewAccount(10, 11).Validate(); err == nil {
+		t.Fatal("H > TTRT accepted")
+	}
+	if err := NewAccount(10, -1).Validate(); err == nil {
+		t.Fatal("negative H accepted")
+	}
+	if err := NewAccount(10, 10).Validate(); err != nil {
+		t.Fatalf("valid account rejected: %v", err)
+	}
+}
+
+func TestAsyncNeverExceedsTTRTProperty(t *testing.T) {
+	// Property: whatever the arrival pattern, the async grant never exceeds
+	// TTRT and is never negative.
+	err := quick.Check(func(gaps []uint8) bool {
+		a := NewAccount(100, 10)
+		now := int64(0)
+		for _, g := range gaps {
+			now += int64(g) + 1
+			sync, async := a.OnArrival(now)
+			if sync != 10 || async < 0 || async > 100 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastRotation(t *testing.T) {
+	a := NewAccount(100, 10)
+	if a.LastRotation(50) != 0 {
+		t.Fatal("rotation before first visit")
+	}
+	a.OnArrival(10)
+	if a.LastRotation(35) != 25 {
+		t.Fatalf("last rotation %d", a.LastRotation(35))
+	}
+}

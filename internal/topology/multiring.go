@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"sort"
+
+	"github.com/rtnet/wrtring/internal/codes"
+	"github.com/rtnet/wrtring/internal/radio"
+)
+
+// MultiRing partitions stations into the fewest rings the connectivity
+// permits. The paper notes that a station that cannot reach two consecutive
+// members of an existing ring "may form another ring" (§2.4.1); this is
+// that formation procedure: greedily carve ringable subsets out of the
+// connectivity graph, largest components first. Stations that end up in no
+// ring (fewer than three mutually reachable peers) are returned as
+// singletons.
+//
+// The result is a list of rings (each a cyclic order of station indices)
+// plus the leftover stations.
+func MultiRing(pos []radio.Position, g codes.Graph) (rings [][]int, leftover []int) {
+	n := len(pos)
+	assigned := make([]bool, n)
+
+	for {
+		// Collect the largest unassigned connected component.
+		comp := largestComponent(g, assigned)
+		if len(comp) < 3 {
+			break
+		}
+		ring := carveRing(pos, g, comp)
+		if ring == nil {
+			// The component is connected but not ringable as a whole (e.g.
+			// a star): peel off its best cycle-capable core by dropping the
+			// lowest-degree member and retrying within the component.
+			ring = carveWithPeeling(pos, g, comp)
+		}
+		if ring == nil {
+			// Give up on this component entirely.
+			for _, v := range comp {
+				assigned[v] = true
+				leftover = append(leftover, v)
+			}
+			continue
+		}
+		for _, v := range ring {
+			assigned[v] = true
+		}
+		rings = append(rings, ring)
+	}
+	for v := 0; v < n; v++ {
+		if !assigned[v] {
+			leftover = append(leftover, v)
+		}
+	}
+	sort.Ints(leftover)
+	return rings, leftover
+}
+
+// largestComponent returns the biggest connected set of unassigned
+// stations.
+func largestComponent(g codes.Graph, assigned []bool) []int {
+	n := len(g)
+	seen := make([]bool, n)
+	var best []int
+	for s := 0; s < n; s++ {
+		if assigned[s] || seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g[u] {
+				if !assigned[v] && !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// carveRing attempts a ring over exactly the given member set.
+func carveRing(pos []radio.Position, g codes.Graph, members []int) []int {
+	sub := codes.NewGraph(len(members))
+	idx := map[int]int{}
+	subPos := make([]radio.Position, len(members))
+	for i, v := range members {
+		idx[v] = i
+		subPos[i] = pos[v]
+	}
+	for i, v := range members {
+		for _, w := range g[v] {
+			if j, ok := idx[w]; ok {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	tour, err := RingOrder(subPos, sub)
+	if err != nil {
+		return nil
+	}
+	out := make([]int, len(tour))
+	for i, t := range tour {
+		out[i] = members[t]
+	}
+	return out
+}
+
+// carveWithPeeling repeatedly removes the member with the fewest in-set
+// neighbours until a ring forms or the set shrinks below three.
+func carveWithPeeling(pos []radio.Position, g codes.Graph, members []int) []int {
+	set := append([]int(nil), members...)
+	for len(set) >= 3 {
+		// Drop the weakest member.
+		inSet := map[int]bool{}
+		for _, v := range set {
+			inSet[v] = true
+		}
+		worst, worstDeg := -1, 1<<30
+		for i, v := range set {
+			deg := 0
+			for _, w := range g[v] {
+				if inSet[w] {
+					deg++
+				}
+			}
+			if deg < worstDeg {
+				worst, worstDeg = i, deg
+			}
+		}
+		set = append(set[:worst], set[worst+1:]...)
+		if len(set) < 3 {
+			return nil
+		}
+		if ring := carveRing(pos, g, set); ring != nil {
+			return ring
+		}
+	}
+	return nil
+}

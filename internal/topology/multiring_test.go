@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func validRing(t *testing.T, ring []int, g interface{ HasEdge(a, b int) bool }) {
+	t.Helper()
+	n := len(ring)
+	for i := 0; i < n; i++ {
+		if !g.HasEdge(ring[i], ring[(i+1)%n]) {
+			t.Fatalf("ring hop %d->%d not connected", ring[i], ring[(i+1)%n])
+		}
+	}
+}
+
+func TestMultiRingSingleCluster(t *testing.T) {
+	pos := Circle(10, 50)
+	g := BuildGraph(pos, ChordLen(10, 50)*2.5)
+	rings, leftover := MultiRing(pos, g)
+	if len(rings) != 1 || len(leftover) != 0 {
+		t.Fatalf("rings=%d leftover=%v", len(rings), leftover)
+	}
+	if len(rings[0]) != 10 {
+		t.Fatalf("ring covers %d", len(rings[0]))
+	}
+	validRing(t, rings[0], g)
+}
+
+func TestMultiRingTwoClusters(t *testing.T) {
+	// Two circles far apart: the §2.4.1 scenario where a second ring forms.
+	a := Circle(6, 30)
+	b := Circle(5, 30)
+	pos := append([]radio.Position{}, a...)
+	for _, p := range b {
+		pos = append(pos, radio.Position{X: p.X + 1000, Y: p.Y})
+	}
+	g := BuildGraph(pos, ChordLen(5, 30)*2.5)
+	rings, leftover := MultiRing(pos, g)
+	if len(rings) != 2 {
+		t.Fatalf("rings=%d leftover=%v", len(rings), leftover)
+	}
+	if len(rings[0])+len(rings[1]) != 11 || len(leftover) != 0 {
+		t.Fatalf("coverage: %v / %v / %v", rings[0], rings[1], leftover)
+	}
+	for _, r := range rings {
+		validRing(t, r, g)
+	}
+}
+
+func TestMultiRingIsolatedStations(t *testing.T) {
+	pos := Circle(6, 30)
+	pos = append(pos, radio.Position{X: 5000, Y: 5000}) // hermit
+	g := BuildGraph(pos, ChordLen(6, 30)*2.5)
+	rings, leftover := MultiRing(pos, g)
+	if len(rings) != 1 || len(leftover) != 1 || leftover[0] != 6 {
+		t.Fatalf("rings=%v leftover=%v", rings, leftover)
+	}
+}
+
+func TestMultiRingStarNeedsPeeling(t *testing.T) {
+	// A hub with three spokes out of each other's range: no ring can
+	// include the spokes (degree 1); everything becomes leftover.
+	pos := []radio.Position{
+		{X: 50, Y: 50}, {X: 0, Y: 50}, {X: 100, Y: 50}, {X: 50, Y: 0},
+	}
+	g := BuildGraph(pos, 55)
+	rings, leftover := MultiRing(pos, g)
+	if len(rings) != 0 {
+		t.Fatalf("star produced a ring: %v", rings)
+	}
+	if len(leftover) != 4 {
+		t.Fatalf("leftover=%v", leftover)
+	}
+}
+
+func TestMultiRingProperty(t *testing.T) {
+	// Properties: every station appears exactly once across rings+leftover;
+	// every ring is valid and has >= 3 members.
+	err := quick.Check(func(seed uint16) bool {
+		rng := sim.NewRNG(uint64(seed))
+		n := 6 + rng.Intn(25)
+		pos := RandomArea(n, 120, 120, rng)
+		g := BuildGraph(pos, 45)
+		rings, leftover := MultiRing(pos, g)
+		seen := map[int]int{}
+		for _, r := range rings {
+			if len(r) < 3 {
+				return false
+			}
+			for i := 0; i < len(r); i++ {
+				seen[r[i]]++
+				if !g.HasEdge(r[i], r[(i+1)%len(r)]) {
+					return false
+				}
+			}
+		}
+		for _, v := range leftover {
+			seen[v]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func TestCirclePlacement(t *testing.T) {
+	pos := Circle(8, 50)
+	if len(pos) != 8 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	center := struct{ x, y float64 }{50, 50}
+	for i, p := range pos {
+		d := math.Hypot(p.X-center.x, p.Y-center.y)
+		if math.Abs(d-50) > 1e-9 {
+			t.Fatalf("station %d at radius %f", i, d)
+		}
+	}
+	// Adjacent chord length matches the helper.
+	want := ChordLen(8, 50)
+	got := pos[0].Dist(pos[1])
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chord %f want %f", got, want)
+	}
+}
+
+func TestRingOrderOnCircle(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 16, 40, 100} {
+		pos := Circle(n, 50)
+		g := BuildGraph(pos, ChordLen(n, 50)*2.5)
+		tour, err := RingOrder(pos, g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(tour) != n {
+			t.Fatalf("n=%d: tour covers %d", n, len(tour))
+		}
+		seen := map[int]bool{}
+		for i, v := range tour {
+			if seen[v] {
+				t.Fatalf("n=%d: station %d twice", n, v)
+			}
+			seen[v] = true
+			if !g.HasEdge(v, tour[(i+1)%n]) {
+				t.Fatalf("n=%d: hop %d->%d not connected", n, v, tour[(i+1)%n])
+			}
+		}
+	}
+}
+
+func TestRingOrderFailsWhenTooSparse(t *testing.T) {
+	// A station with fewer than two neighbours cannot join a ring.
+	pos := []radioPosition{{X: 0}, {X: 1}, {X: 2}, {X: 100, Y: 100}}
+	g := BuildGraph(pos, 2)
+	if _, err := RingOrder(pos, g); err == nil {
+		t.Fatal("expected ErrNoRing for isolated station")
+	}
+}
+
+func TestRingOrderRandomDense(t *testing.T) {
+	rng := sim.NewRNG(4)
+	ok := 0
+	for trial := 0; trial < 30; trial++ {
+		pos := RandomArea(15, 100, 100, rng)
+		g := BuildGraph(pos, 60)
+		tour, err := RingOrder(pos, g)
+		if err != nil {
+			continue // sparse instances may legitimately fail
+		}
+		ok++
+		if violations(tour, g) != 0 {
+			t.Fatalf("trial %d: invalid tour returned", trial)
+		}
+	}
+	if ok < 20 {
+		t.Fatalf("dense random layouts rarely ringable: %d/30", ok)
+	}
+}
+
+func TestBFSTreeAndEulerTour(t *testing.T) {
+	pos := Circle(9, 50)
+	g := BuildGraph(pos, ChordLen(9, 50)*2.5)
+	tree, err := BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[0] != -1 {
+		t.Fatalf("root parent = %d", tree.Parent[0])
+	}
+	tour := tree.EulerTour()
+	// Each of the N-1 tree edges appears exactly twice: 2(N-1)+1 entries.
+	if len(tour) != 2*(9-1)+1 {
+		t.Fatalf("tour length %d", len(tour))
+	}
+	if tour[0] != 0 || tour[len(tour)-1] != 0 {
+		t.Fatal("tour must start and end at root")
+	}
+	// Consecutive tour entries must be tree-adjacent.
+	adj := func(a, b int) bool { return tree.Parent[a] == b || tree.Parent[b] == a }
+	for i := 1; i < len(tour); i++ {
+		if !adj(tour[i-1], tour[i]) {
+			t.Fatalf("tour hop %d->%d not a tree edge", tour[i-1], tour[i])
+		}
+	}
+}
+
+func TestBFSTreeDisconnected(t *testing.T) {
+	pos := []radioPosition{{X: 0}, {X: 1}, {X: 100, Y: 100}}
+	g := BuildGraph(pos, 5)
+	if _, err := BFSTree(g, 0); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	// Star: root 0 in range of everyone, leaves out of each other's range.
+	pos := []radioPosition{{X: 50, Y: 50}, {X: 0, Y: 50}, {X: 100, Y: 50}, {X: 50, Y: 0}, {X: 50, Y: 100}}
+	g := BuildGraph(pos, 55)
+	tree, err := BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if d := tree.Depth(v); d != 1 {
+			t.Fatalf("depth(%d) = %d", v, d)
+		}
+	}
+	if tree.Depth(0) != 0 {
+		t.Fatal("root depth != 0")
+	}
+}
+
+func TestEulerTourPropertyEdgeCount(t *testing.T) {
+	// Property: for random connected graphs, the Euler tour has exactly
+	// 2(N-1) hops and every hop is a tree edge.
+	err := quick.Check(func(seed uint16) bool {
+		rng := sim.NewRNG(uint64(seed))
+		n := 4 + rng.Intn(30)
+		pos := RandomArea(n, 100, 100, rng)
+		g := BuildGraph(pos, 80)
+		tree, err := BFSTree(g, 0)
+		if err != nil {
+			return true // disconnected: skip
+		}
+		tour := tree.EulerTour()
+		return len(tour) == 2*(n-1)+1
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridAndClustered(t *testing.T) {
+	g := Grid(10, 5)
+	if len(g) != 10 {
+		t.Fatalf("grid size %d", len(g))
+	}
+	if g[0].Dist(g[1]) != 5 {
+		t.Fatalf("grid spacing %f", g[0].Dist(g[1]))
+	}
+	rng := sim.NewRNG(5)
+	c := Clustered(30, 3, 100, 100, 10, rng)
+	if len(c) != 30 {
+		t.Fatalf("clustered size %d", len(c))
+	}
+	for i, p := range c {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("station %d outside area: %+v", i, p)
+		}
+	}
+}
+
+func TestWaypointMobilityStaysInArea(t *testing.T) {
+	rng := sim.NewRNG(6)
+	pos := RandomArea(10, 100, 100, rng)
+	m := NewWaypoint(100, 100, 0.05, 100, 500, rng)
+	for step := 0; step < 200; step++ {
+		pos = m.Step(pos, 50)
+		for i, p := range pos {
+			if p.X < -1e-9 || p.X > 100+1e-9 || p.Y < -1e-9 || p.Y > 100+1e-9 {
+				t.Fatalf("station %d left the area: %+v", i, p)
+			}
+		}
+	}
+}
+
+func TestWaypointLowMobilityMovesSlowly(t *testing.T) {
+	rng := sim.NewRNG(7)
+	pos := RandomArea(5, 100, 100, rng)
+	before := append([]radioPosition(nil), pos...)
+	m := NewWaypoint(100, 100, 0.01, 0, 0, rng)
+	pos = m.Step(pos, 100) // 100 slots at 0.01/slot = at most 1 unit
+	for i := range pos {
+		if d := before[i].Dist(pos[i]); d > 1+1e-9 {
+			t.Fatalf("station %d moved %f units in 100 slots", i, d)
+		}
+	}
+}
+
+// radioPosition aliases the radio position type for test readability.
+type radioPosition = radio.Position

@@ -1,0 +1,178 @@
+package tpt
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/analysis"
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// buildSparseTPT places stations on a line so multihop tree routing is
+// mandatory (each station only reaches its immediate neighbours).
+func buildSparseTPT(t testing.TB, n int, h int64, seed uint64) (*sim.Kernel, *radio.Medium, *Network) {
+	t.Helper()
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	med := radio.NewMedium(kern, rng.Split())
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(radio.Position{X: float64(i) * 10, Y: 0}, 12, nil)
+		members[i] = Member{ID: StationID(i), Node: node, H: h}
+	}
+	net, err := New(kern, med, rng.Split(), Params{}, members)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	net.Start()
+	return kern, med, net
+}
+
+func TestMultihopForwardingOnLine(t *testing.T) {
+	n := 6
+	kern, _, net := buildSparseTPT(t, n, 2, 31)
+	// 0 -> 5 must relay through every intermediate station.
+	net.Station(0).Enqueue(core.Packet{Dst: 5, Class: core.Premium})
+	kern.Run(sim.Time(20 * net.TTRT()))
+	if net.Metrics.Delivered[0] != 1 {
+		t.Fatalf("end-to-end delivery failed: %v", net.Metrics.Delivered)
+	}
+	var forwards int64
+	for i := 1; i < 5; i++ {
+		forwards += net.Station(StationID(i)).Metrics.Forwarded
+	}
+	if forwards < 4 {
+		t.Fatalf("expected >=4 relays on the line, saw %d", forwards)
+	}
+}
+
+func TestLineTopologyTourLength(t *testing.T) {
+	n := 6
+	_, _, net := buildSparseTPT(t, n, 2, 32)
+	// Line => BFS tree is a path => tour still has 2(N-1) hops.
+	if got := net.TourLen(); got != 2*(n-1) {
+		t.Fatalf("tour length %d", got)
+	}
+}
+
+func TestSyncPriorityOverAsync(t *testing.T) {
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 33)
+	st := net.Station(0)
+	for p := 0; p < 2000; p++ {
+		st.Enqueue(core.Packet{Dst: 4, Class: core.Premium})
+		st.Enqueue(core.Packet{Dst: 4, Class: core.BestEffort})
+	}
+	kern.Run(8000) // short enough that neither queue drains
+	if st.QueueLen(core.Premium) == 0 {
+		t.Fatal("test premise broken: sync queue drained")
+	}
+	// The sync guarantee is exercised in full every round (async may send
+	// MORE by riding token earliness — that is timed-token semantics — but
+	// it can never displace the H reservation).
+	rounds := net.Metrics.Rounds
+	if st.Metrics.Sent[0] < (rounds-1)*2 {
+		t.Fatalf("sync sent %d, below the H=2 guarantee over %d rounds",
+			st.Metrics.Sent[0], rounds)
+	}
+	// And sync is served first within each visit, so it waits less.
+	if st.Metrics.Sent[1] > 0 && st.Metrics.Wait[0].Mean() >= st.Metrics.Wait[1].Mean() {
+		t.Fatalf("sync wait %.1f not below async %.1f",
+			st.Metrics.Wait[0].Mean(), st.Metrics.Wait[1].Mean())
+	}
+}
+
+func TestSyncBandwidthPerRound(t *testing.T) {
+	// Each station's synchronous transmissions per round must respect H.
+	h := int64(2)
+	kern, _, net := buildTPT(t, 8, h, Params{}, 34)
+	for i := 0; i < 8; i++ {
+		st := net.Station(StationID(i))
+		for p := 0; p < 400; p++ {
+			st.Enqueue(core.Packet{Dst: StationID((i + 4) % 8), Class: core.Premium})
+		}
+	}
+	kern.Run(10_000)
+	rounds := net.Metrics.Rounds
+	for i := 0; i < 8; i++ {
+		st := net.Station(StationID(i))
+		// Forwarded sync traffic also consumes H; own sent must stay under.
+		if st.Metrics.Sent[0] > (rounds+1)*h {
+			t.Fatalf("station %d sent %d sync in %d rounds (H=%d)",
+				i, st.Metrics.Sent[0], rounds, h)
+		}
+	}
+}
+
+func TestEquation7AdmissionMatchesRuntime(t *testing.T) {
+	// A reservation set admitted by equation (7) must meet its D/2 budget
+	// in simulation: the measured max rotation <= 2·TTRT <= D.
+	n := 8
+	kern, _, net := buildTPT(t, n, 3, Params{}, 35)
+	p := net.TPTParams()
+	d := 2 * net.TTRT()
+	if lhs, ok := analysis.TPTConstraint(p, d); !ok {
+		t.Fatalf("minimal TTRT violates its own constraint: lhs=%d d=%d", lhs, d)
+	}
+	for i := 0; i < n; i++ {
+		st := net.Station(StationID(i))
+		for q := 0; q < 300; q++ {
+			st.Enqueue(core.Packet{Dst: StationID((i + 4) % n), Class: core.Premium})
+		}
+	}
+	kern.Run(12_000)
+	if net.Metrics.MaxRotation > d {
+		t.Fatalf("max rotation %d exceeds D=%d", net.Metrics.MaxRotation, d)
+	}
+}
+
+func TestRootDeathRebuild(t *testing.T) {
+	// Killing the ROOT is the worst case for a tree protocol.
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 36)
+	kern.Run(200)
+	net.KillStation(0)
+	kern.Run(200 + sim.Time(12*net.TTRT()))
+	if net.Dead() {
+		t.Fatalf("network died: %s", net.Metrics.DeathReason)
+	}
+	if net.Metrics.Rebuilds == 0 {
+		t.Fatal("no rebuild after root death")
+	}
+	before := net.Metrics.Rounds
+	kern.Run(kern.Now() + sim.Time(8*net.TTRT()))
+	if net.Metrics.Rounds <= before {
+		t.Fatal("token dead after root rebuild")
+	}
+}
+
+func TestPartitionKillsNetwork(t *testing.T) {
+	// Killing the middle of a line partitions the tree: no rebuild can
+	// cover both halves, the network dies (reported, not hung).
+	kern, _, net := buildSparseTPT(t, 5, 2, 37)
+	kern.Run(200)
+	net.KillStation(2)
+	kern.Run(200 + sim.Time(20*net.TTRT()))
+	if !net.Dead() {
+		t.Fatalf("partitioned tree still claims to live: rebuilds=%d", net.Metrics.Rebuilds)
+	}
+}
+
+func TestTPTTaggedWaits(t *testing.T) {
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 38)
+	st := net.Station(2)
+	for p := 0; p < 20; p++ {
+		st.Enqueue(core.Packet{Dst: 6, Class: core.Premium, Tagged: true})
+	}
+	kern.Run(sim.Time(40 * net.TTRT()))
+	if len(net.Tagged) != 20 {
+		t.Fatalf("tagged probes %d", len(net.Tagged))
+	}
+	for _, s := range net.Tagged {
+		// Timed-token access guarantee: a head-of-line sync packet waits at
+		// most ~(x/H + 1) rotations of 2·TTRT each.
+		maxWait := (int64(s.X)/2 + 2) * 2 * net.TTRT()
+		if s.Wait > maxWait {
+			t.Fatalf("sync wait %d with x=%d exceeds %d", s.Wait, s.X, maxWait)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package tpt implements the Token Passing Tree protocol (Jianqiang, Shengming
+// & Dajiang, MWCN 2000) — the baseline the paper compares WRT-Ring against in
+// §3. TPT organises the ad hoc network as a tree; a token travels depth-first
+// (every tree edge twice, 2·(N−1) hops per round) over a single shared
+// channel, and only the token holder may transmit. The delay bound is
+// inherited from the timed-token protocol: rotation ≤ 2·TTRT, and equation
+// (7) constrains the synchronous reservations.
+package tpt
+
+import "github.com/rtnet/wrtring/internal/core"
+
+// StationID aliases the MAC identity type so scenarios can share IDs
+// between protocols.
+type StationID = core.StationID
+
+// TokenFrame is the token, addressed to the next station on the Euler tour.
+type TokenFrame struct {
+	To    StationID
+	Pos   int // tour position of the receiver
+	Epoch int64
+}
+
+// Control marks the token as control traffic for loss injection.
+func (TokenFrame) Control() bool { return true }
+
+// DataFrame is one packet transmission, addressed to the next tree hop.
+type DataFrame struct {
+	To  StationID
+	Pkt core.Packet
+}
+
+// ClaimFrame re-validates the tree after a token-loss detection: it travels
+// the tour like a token; if it returns to its originator the tree is intact
+// and a fresh token is issued, otherwise the tree is rebuilt (§3.1.3).
+// Concurrent claims are resolved by the (DetectedAt, Origin) election, as
+// in WRT-Ring's SAT_REC.
+type ClaimFrame struct {
+	Origin     StationID
+	DetectedAt int64
+	To         StationID
+	Pos        int
+	Epoch      int64
+}
+
+// Control marks claims as control traffic.
+func (ClaimFrame) Control() bool { return true }
+
+// beats reports whether a wins the claim election over b.
+func (a ClaimFrame) beats(b ClaimFrame) bool {
+	if a.DetectedAt != b.DetectedAt {
+		return a.DetectedAt < b.DetectedAt
+	}
+	return a.Origin < b.Origin
+}
+
+// RapFrame announces the Random Access Period that lets new stations join
+// (§3.1.1): transmissions stop for T_rap and requesting stations try a
+// handshake.
+type RapFrame struct {
+	Sender StationID
+	TEar   int64
+}
+
+// Control marks RAP announcements as control traffic.
+func (RapFrame) Control() bool { return true }
+
+// JoinReqFrame is a requesting station's handshake message.
+type JoinReqFrame struct {
+	Addr StationID
+	H    int64
+}
+
+// Control marks join requests as control traffic.
+func (JoinReqFrame) Control() bool { return true }
+
+// JoinAckFrame tells the requester it was accepted as a child of Parent.
+type JoinAckFrame struct {
+	Addr   StationID
+	Parent StationID
+	Accept bool
+}
+
+// Control marks join acknowledgements as control traffic.
+func (JoinAckFrame) Control() bool { return true }
+
+// TreeLostFrame is broadcast when a claim fails: the tree is no longer
+// valid and must be rebuilt (§3.1.3).
+type TreeLostFrame struct {
+	Reporter StationID
+	Epoch    int64
+}
+
+// Control marks tree-lost notifications as control traffic.
+func (TreeLostFrame) Control() bool { return true }

@@ -1,0 +1,98 @@
+package tpt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// checkTPTInvariants asserts TPT's global invariants:
+//
+//	I1 at most one token holder;
+//	I2 the tour covers exactly the active members, each edge twice;
+//	I3 conservation per queue: delivered <= sent (+relays) <= offered;
+//	I4 rotation never exceeded 2·TTRT between rebuilds;
+//	I5 a live network keeps rotating.
+func checkTPTInvariants(t *testing.T, net *Network, label string) {
+	t.Helper()
+	holders := 0
+	for _, st := range net.tickOrder {
+		if st.hasToken {
+			holders++
+		}
+	}
+	if holders > 1 {
+		t.Fatalf("%s: %d token holders", label, holders)
+	}
+	if !net.Dead() {
+		active := net.N()
+		if want := 2 * (active - 1); active > 1 && net.TourLen() != want {
+			t.Fatalf("%s: tour %d hops for %d members", label, net.TourLen(), active)
+		}
+		// Every tour entry must be an active station.
+		for _, id := range net.tour {
+			st := net.stations[id]
+			if st == nil || !st.active {
+				t.Fatalf("%s: tour contains inactive %d", label, id)
+			}
+		}
+	}
+	var sent, offered int64
+	for _, st := range net.tickOrder {
+		sent += st.Metrics.Sent[0] + st.Metrics.Sent[1]
+		offered += st.Metrics.Offered[0] + st.Metrics.Offered[1]
+	}
+	if net.Metrics.TotalDelivered() > sent {
+		t.Fatalf("%s: delivered %d > sent %d", label, net.Metrics.TotalDelivered(), sent)
+	}
+	if net.Metrics.MaxRotation > 2*net.TTRT() {
+		t.Fatalf("%s: rotation %d > 2·TTRT %d", label, net.Metrics.MaxRotation, 2*net.TTRT())
+	}
+}
+
+// TestTPTInvariantsUnderRandomizedFaults fuzzes the baseline the same way
+// the ring is fuzzed: random loads, kills and token losses.
+func TestTPTInvariantsUnderRandomizedFaults(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := sim.NewRNG(uint64(trial) + 7000)
+			n := 5 + rng.Intn(8)
+			h := int64(1 + rng.Intn(3))
+			kern, _, net := buildTPT(t, n, h, Params{}, uint64(trial)+7100)
+			for i := 0; i < n; i++ {
+				st := net.Station(StationID(i))
+				for p := 0; p < rng.Intn(150); p++ {
+					cls := core.BestEffort
+					if rng.Bool(0.5) {
+						cls = core.Premium
+					}
+					st.Enqueue(core.Packet{Dst: StationID(rng.Intn(n)), Class: cls})
+				}
+			}
+			if rng.Bool(0.6) {
+				victim := StationID(1 + rng.Intn(n-1)) // never the root: partition risk is separate
+				kern.At(sim.Time(3000+rng.Intn(5000)), sim.PrioAdmin, func() {
+					net.KillStation(victim)
+				})
+			}
+			if rng.Bool(0.5) {
+				kern.At(sim.Time(2000+rng.Intn(4000)), sim.PrioAdmin, func() {
+					net.LoseTokenOnce()
+				})
+			}
+			kern.Run(40_000)
+			checkTPTInvariants(t, net, fmt.Sprintf("trial %d (n=%d h=%d)", trial, n, h))
+			if !net.Dead() && net.N() >= 2 {
+				before := net.Metrics.Rounds
+				kern.Run(kern.Now() + sim.Time(6*net.TTRT()))
+				if net.Metrics.Rounds <= before {
+					t.Fatalf("trial %d: live tree stopped rotating (N=%d rebuilds=%d)",
+						trial, net.N(), net.Metrics.Rebuilds)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package tpt
+
+import (
+	"github.com/rtnet/wrtring/internal/analysis"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/timedtoken"
+)
+
+// This file implements §3.1.1: TPT periodically stops transmissions using a
+// flag in the token; requesting stations use the resulting T_rap window to
+// handshake their way into the tree, becoming children of the station that
+// accepted them.
+
+type joinBid struct {
+	req    JoinReqFrame
+	hearer StationID
+}
+
+// startRAP opens the join window at the root when its token round starts.
+func (n *Network) startRAP(now sim.Time) {
+	n.Metrics.RAPs++
+	n.pauseUntil(now + sim.Time(n.params.TRap()))
+	n.pendingBids = nil
+	root := n.stations[n.root]
+	n.medium.Transmit(root.Node, radio.Broadcast, RapFrame{Sender: n.root, TEar: n.params.TEar})
+	n.kernel.After(sim.Time(n.params.TRap()), sim.PrioAdmin, func() {
+		n.rapEnd(n.kernel.Now())
+	})
+}
+
+// onJoinBid records that a tree station heard a join request during the
+// earing phase; the lowest-ID hearer becomes the parent candidate.
+func (n *Network) onJoinBid(hearer *Station, req JoinReqFrame) {
+	now := n.kernel.Now()
+	if !n.paused(now) {
+		return // outside a RAP window
+	}
+	for i, b := range n.pendingBids {
+		if b.req.Addr == req.Addr {
+			if hearer.ID < b.hearer {
+				n.pendingBids[i].hearer = hearer.ID
+			}
+			return
+		}
+	}
+	n.pendingBids = append(n.pendingBids, joinBid{req: req, hearer: hearer.ID})
+}
+
+// rapEnd performs the update phase: admit at most one requester per RAP
+// (mirroring WRT-Ring's one-join-per-SAT-round rule) and graft it onto the
+// tree as a child of the station that heard it.
+func (n *Network) rapEnd(now sim.Time) {
+	if n.dead {
+		return
+	}
+	bids := n.pendingBids
+	n.pendingBids = nil
+	if len(bids) == 0 {
+		return
+	}
+	bid := bids[0]
+	j, ok := n.joiners[bid.req.Addr]
+	if !ok {
+		return
+	}
+	if n.params.AdmitMaxStations > 0 && n.N() >= n.params.AdmitMaxStations {
+		n.Metrics.JoinRejects++
+		parent := n.stations[bid.hearer]
+		n.medium.Transmit(parent.Node, radio.Broadcast,
+			JoinAckFrame{Addr: j.ID, Parent: bid.hearer, Accept: false})
+		return
+	}
+	delete(n.joiners, j.ID)
+
+	st := &Station{net: n, ID: j.ID, Node: j.Node, active: true}
+	st.account = timedtoken.NewAccount(n.ttrt, bid.req.H)
+	n.stations[st.ID] = st
+	n.medium.SetReceiver(st.Node, st)
+	n.medium.Listen(st.Node, sharedCode)
+	n.rebuildTickOrder()
+
+	// Graft: child of the hearer; recompute the Euler tour and the TTRT
+	// (ΣH changed). The tour recomputation is the "update" phase.
+	n.parent[st.ID] = bid.hearer
+	n.children[bid.hearer] = append(n.children[bid.hearer], st.ID)
+	if err := n.buildTree(n.root); err != nil {
+		n.die(err.Error())
+		return
+	}
+	if n.params.TTRT == 0 {
+		n.ttrt = analysis.MinimalTTRT(n.TPTParams())
+	}
+	n.resetRotations()
+	if !n.params.DisableRecovery {
+		st.armLossTimer(now)
+	}
+	parent := n.stations[bid.hearer]
+	n.medium.Transmit(parent.Node, radio.Broadcast,
+		JoinAckFrame{Addr: j.ID, Parent: bid.hearer, Accept: true})
+	j.state = tptJoined
+	j.joinedAt = now
+	n.Metrics.Joins++
+	if j.OnJoined != nil {
+		j.OnJoined(st)
+	}
+}
+
+type tptJoinerState int
+
+const (
+	tptListening tptJoinerState = iota
+	tptRequested
+	tptJoined
+)
+
+// Joiner is the requesting-station state machine for TPT: it waits for the
+// RAP announcement and answers with a join request after a random backoff.
+type Joiner struct {
+	net   *Network
+	ID    StationID
+	Node  radio.NodeID
+	H     int64
+	state tptJoinerState
+
+	// OnJoined is invoked with the new Station once grafted.
+	OnJoined func(*Station)
+
+	startedAt sim.Time
+	joinedAt  sim.Time
+	rng       *sim.RNG
+}
+
+// NewJoiner registers a prospective TPT station.
+func (n *Network) NewJoiner(id StationID, node radio.NodeID, h int64) *Joiner {
+	j := &Joiner{
+		net: n, ID: id, Node: node, H: h,
+		startedAt: n.kernel.Now(),
+		rng:       n.rng.Split(),
+	}
+	n.joiners[id] = j
+	n.medium.SetReceiver(node, j)
+	return j
+}
+
+// Joined reports whether the joiner was grafted onto the tree.
+func (j *Joiner) Joined() bool { return j.state == tptJoined }
+
+// JoinLatency returns the slots from registration to membership.
+func (j *Joiner) JoinLatency() int64 {
+	if j.state != tptJoined {
+		return 0
+	}
+	return int64(j.joinedAt - j.startedAt)
+}
+
+// OnReceive implements radio.Receiver for the joiner.
+func (j *Joiner) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) {
+	switch f := frame.(type) {
+	case RapFrame:
+		if j.state != tptListening {
+			return
+		}
+		j.state = tptRequested
+		backoff := sim.Time(1 + j.rng.Intn(4))
+		j.net.kernel.After(backoff, sim.PrioAdmin, func() {
+			if j.state != tptRequested {
+				return
+			}
+			j.net.medium.Transmit(j.Node, sharedCode, JoinReqFrame{Addr: j.ID, H: j.H})
+		})
+		j.net.kernel.After(sim.Time(f.TEar)+8, sim.PrioAdmin, func() {
+			if j.state == tptRequested {
+				j.state = tptListening
+			}
+		})
+	case JoinAckFrame:
+		if f.Addr != j.ID {
+			return
+		}
+		if !f.Accept {
+			j.state = tptListening
+		}
+		// Acceptance is finalised by the network (rapEnd).
+	}
+}
+
+// OnCollision implements radio.Receiver for the joiner.
+func (j *Joiner) OnCollision(code radio.Code) {}

@@ -1,0 +1,84 @@
+package tpt
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func TestTPTJoinRejectedWhenFull(t *testing.T) {
+	n := 6
+	params := Params{EnableRAP: true, TEar: 12, TUpdate: 4, AdmitMaxStations: n}
+	kern, med, net := buildTPT(t, n, 2, params, 40)
+	kern.Run(50)
+	rootPos := med.PositionOf(net.Station(0).Node)
+	node := med.AddNode(radio.Position{X: rootPos.X + 3, Y: rootPos.Y},
+		med.RangeOf(net.Station(0).Node), nil)
+	j := net.NewJoiner(100, node, 1)
+	kern.Run(kern.Now() + sim.Time(30*net.TTRT()))
+	if j.Joined() {
+		t.Fatal("joiner admitted despite full tree")
+	}
+	if net.Metrics.JoinRejects == 0 {
+		t.Fatal("no rejection recorded")
+	}
+	if net.N() != n {
+		t.Fatalf("members %d", net.N())
+	}
+}
+
+func TestTPTJoinerOutOfRootRangeNeverJoins(t *testing.T) {
+	// TPT's RAP announcement comes from the root; a newcomer that cannot
+	// hear it never even tries — a structural disadvantage vs. WRT-Ring
+	// where every station takes a turn as ingress.
+	n := 6
+	params := Params{EnableRAP: true, TEar: 12, TUpdate: 4}
+	kern, med, net := buildTPT(t, n, 2, params, 41)
+	node := med.AddNode(radio.Position{X: 9999, Y: 9999}, 10, nil)
+	j := net.NewJoiner(100, node, 1)
+	kern.Run(sim.Time(40 * net.TTRT()))
+	if j.Joined() {
+		t.Fatal("unreachable joiner joined")
+	}
+	if j.JoinLatency() != 0 {
+		t.Fatal("latency for a non-join")
+	}
+}
+
+func TestTPTJoinedStationGetsTimedTokenService(t *testing.T) {
+	n := 6
+	params := Params{EnableRAP: true, TEar: 12, TUpdate: 4}
+	kern, med, net := buildTPT(t, n, 2, params, 42)
+	kern.Run(50)
+	rootPos := med.PositionOf(net.Station(0).Node)
+	node := med.AddNode(radio.Position{X: rootPos.X + 3, Y: rootPos.Y + 3},
+		med.RangeOf(net.Station(0).Node), nil)
+	j := net.NewJoiner(100, node, 3)
+	kern.Run(kern.Now() + sim.Time(25*net.TTRT()))
+	if !j.Joined() {
+		t.Fatalf("join failed (RAPs=%d)", net.Metrics.RAPs)
+	}
+	// The new member's H=3 must be enforceable: saturate and count.
+	st := net.Station(100)
+	for p := 0; p < 300; p++ {
+		st.Enqueue(core.Packet{Dst: 2, Class: core.Premium})
+	}
+	r0 := net.Metrics.Rounds
+	s0 := st.Metrics.Sent[0]
+	kern.Run(kern.Now() + sim.Time(20*net.TTRT()))
+	rounds := net.Metrics.Rounds - r0
+	sent := st.Metrics.Sent[0] - s0
+	if sent < (rounds-2)*3 {
+		t.Fatalf("joined station sent %d sync in %d rounds with H=3", sent, rounds)
+	}
+	if sent > (rounds+2)*3 {
+		t.Fatalf("joined station overdrew sync: %d in %d rounds", sent, rounds)
+	}
+	// TTRT was renegotiated to include the newcomer's reservation.
+	p := net.TPTParams()
+	if p.SumH != int64(n*2+3) {
+		t.Fatalf("ΣH = %d", p.SumH)
+	}
+}

@@ -1,0 +1,366 @@
+package tpt
+
+import (
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/stats"
+	"github.com/rtnet/wrtring/internal/timedtoken"
+)
+
+// Station is one TPT MAC entity. All stations share a single channel (the
+// protocol predates per-station CDMA codes); only the token holder
+// transmits, so the channel is collision-free in normal operation.
+type Station struct {
+	net  *Network
+	ID   StationID
+	Node radio.NodeID
+
+	account *timedtoken.Account
+
+	// Queues: synchronous (real-time) and asynchronous traffic, plus
+	// store-and-forward queues for multihop relaying over the tree.
+	syncQ, asyncQ   fifoQ
+	fwdSync, fwdAsy fifoQ
+
+	active bool
+
+	// Token state.
+	hasToken   bool
+	tokenPos   int
+	syncLeft   int64
+	asyncLeft  int64
+	granted    bool // allowances granted for the current visit
+	grantRound int64
+
+	lastDeparture sim.Time
+	lossTimer     sim.Handle
+
+	// Claim / recovery state.
+	claimOutstanding *ClaimFrame
+	claimDeadline    sim.Handle
+	claimDetectedAt  sim.Time
+	pendingClaim     *ClaimFrame
+
+	Metrics StationMetrics
+}
+
+// StationMetrics aggregates per-station TPT measurements.
+type StationMetrics struct {
+	Offered   [2]int64 // [sync, async]
+	Sent      [2]int64
+	Delivered [2]int64
+	Forwarded int64
+	Wait      [2]stats.Welford
+	Delay     [2]stats.Welford
+	Rotation  stats.Welford
+	Deadlines stats.Deadline
+	Claims    int64
+}
+
+type fifoQ struct {
+	buf  []core.Packet
+	head int
+}
+
+func (q *fifoQ) Len() int { return len(q.buf) - q.head }
+func (q *fifoQ) Push(p core.Packet) {
+	q.buf = append(q.buf, p)
+}
+func (q *fifoQ) Pop() core.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = core.Packet{}
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Active reports whether the station is up and part of the tree.
+func (s *Station) Active() bool { return s.active }
+
+// classIdx maps packet classes to the two TPT queues: Premium is
+// synchronous, everything else asynchronous.
+func classIdx(c core.Class) int {
+	if c.RealTime() {
+		return 0
+	}
+	return 1
+}
+
+// Enqueue places an application packet into the station's queue.
+func (s *Station) Enqueue(p core.Packet) {
+	p.Src = s.ID
+	p.Enqueued = s.net.kernel.Now()
+	idx := classIdx(p.Class)
+	if idx == 0 {
+		p.AheadOnArrival = s.syncQ.Len()
+		s.syncQ.Push(p)
+	} else {
+		p.AheadOnArrival = s.asyncQ.Len()
+		s.asyncQ.Push(p)
+	}
+	s.Metrics.Offered[idx]++
+}
+
+// QueueLen returns the queued packets for the class (own traffic only).
+func (s *Station) QueueLen(c core.Class) int {
+	if classIdx(c) == 0 {
+		return s.syncQ.Len()
+	}
+	return s.asyncQ.Len()
+}
+
+// OnReceive implements radio.Receiver.
+func (s *Station) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) {
+	if !s.active {
+		return
+	}
+	switch f := frame.(type) {
+	case TokenFrame:
+		if f.To != s.ID || f.Epoch != s.net.epoch {
+			return
+		}
+		s.tokenArrived(f, s.net.kernel.Now())
+	case DataFrame:
+		if f.To != s.ID {
+			return
+		}
+		s.dataArrived(f.Pkt, s.net.kernel.Now())
+	case ClaimFrame:
+		if f.To != s.ID || f.Epoch != s.net.epoch {
+			return
+		}
+		s.claimArrived(f, s.net.kernel.Now())
+	case JoinReqFrame:
+		s.net.onJoinBid(s, f)
+	case TreeLostFrame:
+		s.net.onTreeLost(f)
+	case RapFrame:
+		// Ring members pause via the network-wide pause; nothing to do.
+	}
+}
+
+// OnCollision implements radio.Receiver. In normal TPT operation only the
+// token holder transmits, so collisions only occur among competing joiners.
+func (s *Station) OnCollision(code radio.Code) { s.net.Metrics.Collisions++ }
+
+// tokenArrived processes a token reception.
+func (s *Station) tokenArrived(f TokenFrame, now sim.Time) {
+	s.lossTimer.Cancel()
+	s.hasToken = true
+	s.tokenPos = f.Pos
+	s.net.Metrics.TokenHops++
+
+	// A live token invalidates any recovery in progress.
+	if s.claimOutstanding != nil {
+		s.claimOutstanding = nil
+		s.claimDeadline.Cancel()
+		s.net.Metrics.FalseAlarms++
+	}
+
+	round := s.net.roundOf(f.Pos)
+	if !s.granted || round != s.grantRound {
+		// First visit of this tour round: grant timed-token allowances.
+		// (The Euler tour revisits interior stations; leftovers from the
+		// first visit remain usable at the later visits of the same round,
+		// mirroring FDDI's token-holding timer.)
+		s.grantRound = round
+		s.granted = true
+		sync, async := s.account.OnArrival(int64(now))
+		s.syncLeft, s.asyncLeft = sync, async
+		if s.ID == s.net.rootID() {
+			s.net.onRootVisit(now)
+		}
+	}
+}
+
+// dataArrived handles a packet addressed to this station as tree hop.
+func (s *Station) dataArrived(p core.Packet, now sim.Time) {
+	if p.Dst == s.ID {
+		delay := int64(now - p.Enqueued)
+		idx := classIdx(p.Class)
+		s.Metrics.Delivered[idx]++
+		s.Metrics.Delay[idx].Add(float64(delay))
+		s.net.Metrics.Delivered[idx]++
+		s.net.Metrics.Delay[idx].Add(float64(delay))
+		if p.Deadline > 0 {
+			s.Metrics.Deadlines.Record(delay, p.Deadline)
+		}
+		if s.net.OnDeliver != nil {
+			s.net.OnDeliver(p, now)
+		}
+		return
+	}
+	// Store-and-forward: relay when we next hold the token.
+	s.Metrics.Forwarded++
+	if classIdx(p.Class) == 0 {
+		s.fwdSync.Push(p)
+	} else {
+		s.fwdAsy.Push(p)
+	}
+}
+
+// claimArrived participates in the tree re-validation election.
+func (s *Station) claimArrived(f ClaimFrame, now sim.Time) {
+	s.lossTimer.Cancel()
+	s.armLossTimer(now)
+	if f.Origin == s.ID {
+		if s.claimOutstanding != nil && f.DetectedAt == s.claimOutstanding.DetectedAt {
+			s.net.claimSucceeded(s, now)
+		}
+		return
+	}
+	if s.hasToken {
+		return // live token: claim is a false alarm
+	}
+	if s.claimOutstanding != nil {
+		if f.beats(*s.claimOutstanding) {
+			s.claimOutstanding = nil
+			s.claimDeadline.Cancel()
+		} else {
+			return
+		}
+	}
+	next, pos := s.net.tourNext(f.Pos)
+	fwd := f
+	fwd.To = next
+	fwd.Pos = pos
+	s.pendingClaim = &fwd
+}
+
+// tick runs the station's slot action: only meaningful for the token (or
+// claim) holder, since TPT is a single-talker protocol.
+func (s *Station) tick(now sim.Time) {
+	if !s.active {
+		return
+	}
+	if c := s.pendingClaim; c != nil {
+		s.pendingClaim = nil
+		s.net.medium.Transmit(s.Node, sharedCode, *c)
+		return
+	}
+	if !s.hasToken || s.net.paused(now) {
+		return
+	}
+
+	// Transmit one packet this slot if any allowance remains: synchronous
+	// (forwarded first, then own), then asynchronous.
+	if s.syncLeft > 0 {
+		if p, ok := popFirst(&s.fwdSync, &s.syncQ); ok {
+			s.transmit(p, now, 0)
+			s.syncLeft--
+			return
+		}
+	}
+	if s.asyncLeft > 0 {
+		if p, ok := popFirst(&s.fwdAsy, &s.asyncQ); ok {
+			s.transmit(p, now, 1)
+			s.asyncLeft--
+			return
+		}
+	}
+
+	// Nothing (left) to send: pass the token along the Euler tour.
+	s.passToken(now)
+}
+
+func popFirst(fwd, own *fifoQ) (core.Packet, bool) {
+	if fwd.Len() > 0 {
+		return fwd.Pop(), true
+	}
+	if own.Len() > 0 {
+		return own.Pop(), true
+	}
+	return core.Packet{}, false
+}
+
+func (s *Station) transmit(p core.Packet, now sim.Time, idx int) {
+	if p.Src == s.ID {
+		wait := int64(now - p.Enqueued)
+		s.Metrics.Wait[idx].Add(float64(wait))
+		if p.Tagged {
+			s.net.recordTaggedWait(s, p, wait)
+		}
+	}
+	s.Metrics.Sent[idx]++
+	next := s.net.nextHop(s.ID, p.Dst)
+	s.net.medium.Transmit(s.Node, sharedCode, DataFrame{To: next, Pkt: p})
+}
+
+// passToken forwards the token to the next Euler-tour position.
+func (s *Station) passToken(now sim.Time) {
+	next, pos := s.net.tourNext(s.tokenPos)
+	if pos == 0 {
+		s.net.currentRound++
+	}
+	s.hasToken = false
+	s.lastDeparture = now
+	frame := TokenFrame{To: next, Pos: pos, Epoch: s.net.epoch}
+	if s.net.dropNextToken {
+		s.net.dropNextToken = false
+		s.net.tokenLostAt = now
+		s.net.Metrics.TokenInjectedLosses++
+	} else {
+		s.net.medium.Transmit(s.Node, sharedCode, frame)
+	}
+	if !s.net.params.DisableRecovery {
+		s.armLossTimer(now)
+	}
+}
+
+// armLossTimer starts the token-loss timer: 2·TTRT from the last departure
+// (§3.1.3).
+func (s *Station) armLossTimer(now sim.Time) {
+	s.lossTimer.Cancel()
+	s.lossTimer = s.net.kernel.After(sim.Time(2*s.account.TTRT), sim.PrioTimer, func() {
+		s.onLossTimeout(s.net.kernel.Now())
+	})
+}
+
+// onLossTimeout starts the claim procedure (§3.1.3).
+func (s *Station) onLossTimeout(now sim.Time) {
+	if !s.active || s.hasToken || s.net.dead {
+		return
+	}
+	if s.net.paused(now) {
+		s.armLossTimer(now)
+		return
+	}
+	if s.claimOutstanding != nil {
+		return
+	}
+	s.net.Metrics.Detections++
+	if s.net.tokenLostAt >= 0 {
+		s.net.Metrics.DetectLatency.Add(float64(now - s.net.tokenLostAt))
+	}
+	if s.net.params.DisableRecovery {
+		return
+	}
+	s.Metrics.Claims++
+	pos := s.net.tourPosOf(s.ID)
+	next, npos := s.net.tourNext(pos)
+	claim := ClaimFrame{Origin: s.ID, DetectedAt: int64(now), To: next, Pos: npos, Epoch: s.net.epoch}
+	s.claimOutstanding = &claim
+	s.claimDetectedAt = now
+	s.pendingClaim = &claim
+	s.claimDeadline.Cancel()
+	s.claimDeadline = s.net.kernel.After(sim.Time(2*s.account.TTRT), sim.PrioTimer, func() {
+		s.onClaimTimeout(s.net.kernel.Now())
+	})
+}
+
+// onClaimTimeout fires when the claim never returned: the tree is invalid
+// and must be rebuilt (§3.1.3).
+func (s *Station) onClaimTimeout(now sim.Time) {
+	if !s.active || s.claimOutstanding == nil || s.net.dead {
+		return
+	}
+	s.claimOutstanding = nil
+	s.net.Metrics.ClaimFailures++
+	s.net.medium.Transmit(s.Node, radio.Broadcast, TreeLostFrame{Reporter: s.ID, Epoch: s.net.epoch})
+	s.net.rebuild(s.ID, now)
+}

@@ -1,0 +1,184 @@
+package tpt
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+)
+
+// buildTPT places n stations on a circle (dense enough that the BFS tree is
+// shallow) and starts a TPT network with uniform reservations h.
+func buildTPT(t testing.TB, n int, h int64, params Params, seed uint64) (*sim.Kernel, *radio.Medium, *Network) {
+	t.Helper()
+	kern := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	med := radio.NewMedium(kern, rng.Split())
+	pos := topology.Circle(n, 50)
+	txRange := topology.ChordLen(n, 50) * 2.5
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		node := med.AddNode(pos[i], txRange, nil)
+		members[i] = Member{ID: StationID(i), Node: node, H: h}
+	}
+	net, err := New(kern, med, rng.Split(), params, members)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	net.Start()
+	return kern, med, net
+}
+
+func TestTokenCirculates(t *testing.T) {
+	n := 8
+	kern, _, net := buildTPT(t, n, 2, Params{}, 1)
+	kern.Run(2000)
+	if net.Metrics.Rounds < 10 {
+		t.Fatalf("rounds = %d", net.Metrics.Rounds)
+	}
+	// Idle tour: 2·(N−1) hops per round.
+	wantHops := 2 * (n - 1)
+	if got := net.TourLen(); got != wantHops {
+		t.Fatalf("tour length = %d, want %d", got, wantHops)
+	}
+	hopsPerRound := float64(net.Metrics.TokenHops) / float64(net.Metrics.Rounds)
+	if hopsPerRound < float64(wantHops)-1 || hopsPerRound > float64(wantHops)+1 {
+		t.Fatalf("hops/round = %.2f, want ~%d", hopsPerRound, wantHops)
+	}
+	// Idle rotation = 2(N-1) slots.
+	if m := net.Metrics.Rotation.Mean(); m < float64(wantHops)-0.5 || m > float64(wantHops)+0.5 {
+		t.Fatalf("idle rotation = %.2f, want ~%d", m, wantHops)
+	}
+}
+
+func TestTPTDelivery(t *testing.T) {
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 2)
+	net.Station(0).Enqueue(core.Packet{Dst: 4, Class: core.Premium})
+	net.Station(3).Enqueue(core.Packet{Dst: 7, Class: core.BestEffort})
+	kern.Run(500)
+	if net.Metrics.Delivered[0] != 1 || net.Metrics.Delivered[1] != 1 {
+		t.Fatalf("delivered = %v", net.Metrics.Delivered)
+	}
+}
+
+func TestRotationNeverExceedsTwiceTTRT(t *testing.T) {
+	n := 8
+	kern, _, net := buildTPT(t, n, 3, Params{}, 3)
+	for i := 0; i < n; i++ {
+		st := net.Station(StationID(i))
+		for p := 0; p < 300; p++ {
+			st.Enqueue(core.Packet{Dst: StationID((i + 4) % n), Class: core.Premium})
+			st.Enqueue(core.Packet{Dst: StationID((i + 4) % n), Class: core.BestEffort})
+		}
+	}
+	kern.Run(8000)
+	if net.Metrics.Rounds < 5 {
+		t.Fatalf("too few rounds: %d", net.Metrics.Rounds)
+	}
+	if net.Metrics.MaxRotation > 2*net.TTRT() {
+		t.Fatalf("max rotation %d exceeds 2·TTRT=%d", net.Metrics.MaxRotation, 2*net.TTRT())
+	}
+	if net.Metrics.Detections != 0 {
+		t.Fatalf("spurious loss detections under load: %d", net.Metrics.Detections)
+	}
+}
+
+func TestTokenLossClaimRecovers(t *testing.T) {
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 4)
+	kern.Run(200)
+	net.LoseTokenOnce()
+	kern.Run(200 + sim.Time(6*net.TTRT()))
+	if net.Metrics.Detections == 0 {
+		t.Fatalf("token loss not detected")
+	}
+	if net.Metrics.ClaimSuccesses == 0 {
+		t.Fatalf("claim did not succeed on intact tree: %+v", net.Metrics)
+	}
+	if net.Metrics.Rebuilds != 0 {
+		t.Fatalf("pure signal loss should not rebuild the tree")
+	}
+	before := net.Metrics.Rounds
+	kern.Run(kern.Now() + sim.Time(4*net.TTRT()))
+	if net.Metrics.Rounds <= before {
+		t.Fatalf("token not circulating after claim recovery")
+	}
+}
+
+func TestStationDeathForcesRebuild(t *testing.T) {
+	kern, _, net := buildTPT(t, 8, 2, Params{}, 5)
+	kern.Run(200)
+	// Kill a non-root station: the paper's point is that ANY station death
+	// breaks the whole tree (vs. WRT-Ring's local splice).
+	net.KillStation(5)
+	kern.Run(200 + sim.Time(10*net.TTRT()))
+	if net.Dead() {
+		t.Fatalf("network died: %s", net.Metrics.DeathReason)
+	}
+	if net.Metrics.Rebuilds == 0 {
+		t.Fatalf("no rebuild after station death: %+v", net.Metrics)
+	}
+	if got := net.N(); got != 7 {
+		t.Fatalf("members after rebuild = %d, want 7", got)
+	}
+	before := net.Metrics.Rounds
+	kern.Run(kern.Now() + sim.Time(6*net.TTRT()))
+	if net.Metrics.Rounds <= before {
+		t.Fatalf("token not circulating after rebuild")
+	}
+	// Traffic flows on the new tree.
+	net.Station(4).Enqueue(core.Packet{Dst: 6, Class: core.Premium})
+	del := net.Metrics.Delivered[0]
+	kern.Run(kern.Now() + sim.Time(4*net.TTRT()))
+	if net.Metrics.Delivered[0] != del+1 {
+		t.Fatalf("packet not delivered after rebuild")
+	}
+}
+
+func TestTPTJoinDuringRAP(t *testing.T) {
+	n := 6
+	params := Params{EnableRAP: true, TEar: 12, TUpdate: 4}
+	kern, med, net := buildTPT(t, n, 2, params, 6)
+	kern.Run(50)
+
+	// Near the root so the RAP announcement is audible.
+	rootPos := med.PositionOf(net.Station(0).Node)
+	node := med.AddNode(radio.Position{X: rootPos.X + 5, Y: rootPos.Y + 5},
+		med.RangeOf(net.Station(0).Node), nil)
+	j := net.NewJoiner(100, node, 1)
+
+	kern.Run(kern.Now() + sim.Time(20*net.TTRT()))
+	if !j.Joined() {
+		t.Fatalf("TPT joiner did not join (RAPs=%d)", net.Metrics.RAPs)
+	}
+	if got := net.N(); got != n+1 {
+		t.Fatalf("members = %d, want %d", got, n+1)
+	}
+	// New member can exchange traffic.
+	net.Station(100).Enqueue(core.Packet{Dst: 2, Class: core.Premium})
+	del := net.Metrics.Delivered[0]
+	kern.Run(kern.Now() + sim.Time(6*net.TTRT()))
+	if net.Metrics.Delivered[0] != del+1 {
+		t.Fatalf("joined station's packet not delivered")
+	}
+}
+
+func TestTPTDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		kern, _, net := buildTPT(t, 8, 2, Params{}, 42)
+		for i := 0; i < 8; i++ {
+			st := net.Station(StationID(i))
+			for p := 0; p < 40; p++ {
+				st.Enqueue(core.Packet{Dst: StationID((i + 3) % 8), Class: core.Premium})
+			}
+		}
+		kern.Run(4000)
+		return net.Metrics.Rounds, net.Metrics.TotalDelivered()
+	}
+	r1, d1 := run()
+	r2, d2 := run()
+	if r1 != r2 || d1 != d2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1, d1, r2, d2)
+	}
+}

@@ -1,0 +1,178 @@
+// Package trace provides a lightweight structured event journal for the
+// protocol simulations: a bounded ring buffer of (time, kind, fields)
+// records with per-kind counting and filtering. Protocol packages emit
+// events through a nil-safe Recorder pointer, so tracing costs nothing when
+// disabled and never changes protocol behaviour.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind labels an event class ("sat.seize", "rec.heal", "join.done", ...).
+type Kind string
+
+// Event is one journal record.
+type Event struct {
+	T    int64
+	Kind Kind
+	// A and B carry the event's principals (station IDs, durations);
+	// their meaning is per-kind and documented at the emit site.
+	A, B int64
+	Note string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Note != "" {
+		return fmt.Sprintf("t=%-8d %-14s a=%-4d b=%-4d %s", e.T, e.Kind, e.A, e.B, e.Note)
+	}
+	return fmt.Sprintf("t=%-8d %-14s a=%-4d b=%-4d", e.T, e.Kind, e.A, e.B)
+}
+
+// Recorder is a bounded journal. The zero value is unusable; create with
+// NewRecorder. All methods are nil-safe so call sites never need guards.
+type Recorder struct {
+	cap    int
+	buf    []Event
+	start  int
+	total  uint64
+	counts map[Kind]uint64
+	only   map[Kind]bool
+}
+
+// NewRecorder creates a journal that retains the most recent capacity
+// events (older ones are overwritten).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{cap: capacity, counts: map[Kind]uint64{}}
+}
+
+// Only restricts recording to the given kinds (counting still covers all).
+// Calling it with no arguments clears the filter.
+func (r *Recorder) Only(kinds ...Kind) {
+	if r == nil {
+		return
+	}
+	if len(kinds) == 0 {
+		r.only = nil
+		return
+	}
+	r.only = map[Kind]bool{}
+	for _, k := range kinds {
+		r.only[k] = true
+	}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(t int64, kind Kind, a, b int64, note string) {
+	if r == nil {
+		return
+	}
+	r.total++
+	r.counts[kind]++
+	if r.only != nil && !r.only[kind] {
+		return
+	}
+	e := Event{T: t, Kind: kind, A: a, B: b, Note: note}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns the number of events ever recorded (including filtered and
+// overwritten ones).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Count returns how many events of a kind were seen.
+func (r *Recorder) Count(kind Kind) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counts[kind]
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Find returns the retained events of the given kind.
+func (r *Recorder) Find(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events plus a per-kind summary.
+func (r *Recorder) Dump(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	kinds := make([]string, 0, len(r.counts))
+	for k := range r.counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	b.WriteString("-- counts:")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, r.counts[Kind(k)])
+	}
+	_, err := fmt.Fprintln(w, b.String())
+	return err
+}
+
+// Well-known event kinds emitted by the protocol packages. Field meanings:
+// A is the acting station, B is per-kind (peer, duration, counter).
+const (
+	// SATSeize: a not-satisfied station held the SAT; B = hold slots.
+	SATSeize Kind = "sat.seize"
+	// SATForward: SAT passed from A to B.
+	SATForward Kind = "sat.forward"
+	// SATLost: A's SAT_TIMER expired; B = slots since last sighting.
+	SATLost Kind = "sat.lost"
+	// RecStart: A originated SAT_REC naming B as failed.
+	RecStart Kind = "rec.start"
+	// RecHeal: A's SAT_REC returned; B = heal latency in slots.
+	RecHeal Kind = "rec.heal"
+	// RecReform: ring re-formation triggered by A; B = survivor count.
+	RecReform Kind = "rec.reform"
+	// RAPOpen: A opened a Random Access Period.
+	RAPOpen Kind = "rap.open"
+	// JoinDone: A joined the ring through ingress B.
+	JoinDone Kind = "join.done"
+	// LeaveDone: A left the ring voluntarily.
+	LeaveDone Kind = "leave.done"
+	// Exile: healthy A was cut out of the ring by a splice.
+	Exile Kind = "exile"
+)

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, SATSeize, 2, 3, "")
+	r.Only(SATSeize)
+	if r.Total() != 0 || r.Count(SATSeize) != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	if r.Events() != nil || r.Find(SATSeize) != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	if err := r.Dump(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndRetrieve(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(10, SATSeize, 1, 5, "held")
+	r.Record(20, RecHeal, 2, 13, "")
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != SATSeize || evs[1].T != 20 {
+		t.Fatalf("events %v", evs)
+	}
+	if r.Count(SATSeize) != 1 || r.Count(RecHeal) != 1 || r.Total() != 2 {
+		t.Fatal("counts wrong")
+	}
+	if len(r.Find(RecHeal)) != 1 {
+		t.Fatal("find failed")
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		r.Record(i, SATForward, i, 0, "")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.T != int64(6+i) {
+			t.Fatalf("retained wrong window: %v", evs)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total %d", r.Total())
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	r := NewRecorder(16)
+	r.Only(RecHeal)
+	r.Record(1, SATForward, 0, 0, "")
+	r.Record(2, RecHeal, 0, 7, "")
+	if len(r.Events()) != 1 || r.Events()[0].Kind != RecHeal {
+		t.Fatalf("filter failed: %v", r.Events())
+	}
+	// Counting still sees everything.
+	if r.Count(SATForward) != 1 {
+		t.Fatal("filtered kind not counted")
+	}
+	r.Only() // clear
+	r.Record(3, SATForward, 0, 0, "")
+	if len(r.Events()) != 2 {
+		t.Fatal("filter not cleared")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(5, JoinDone, 100, 3, "ingress")
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "join.done") || !strings.Contains(out, "counts: join.done=1") {
+		t.Fatalf("dump:\n%s", out)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: 1, Kind: Exile, A: 4}
+	if !strings.Contains(e.String(), "exile") {
+		t.Fatalf("%q", e.String())
+	}
+	e.Note = "why"
+	if !strings.Contains(e.String(), "why") {
+		t.Fatalf("%q", e.String())
+	}
+}
+
+func TestChronologyProperty(t *testing.T) {
+	// Property: events recorded with nondecreasing times come back in
+	// nondecreasing order regardless of capacity and volume.
+	err := quick.Check(func(capRaw uint8, times []uint16) bool {
+		r := NewRecorder(int(capRaw%32) + 1)
+		last := int64(0)
+		for _, dt := range times {
+			last += int64(dt % 16)
+			r.Record(last, SATForward, 0, 0, "")
+		}
+		evs := r.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].T < evs[i-1].T {
+				return false
+			}
+		}
+		return r.Total() == uint64(len(times))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

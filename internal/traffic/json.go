@@ -1,0 +1,25 @@
+package traffic
+
+import "fmt"
+
+// MarshalJSON renders the kind as its canonical name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the canonical kind names.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"cbr"`:
+		*k = CBR
+	case `"poisson"`:
+		*k = Poisson
+	case `"onoff"`:
+		*k = OnOff
+	case `"vbr"`:
+		*k = VBR
+	default:
+		return fmt.Errorf("traffic: unknown kind %s", b)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func roundTrip(t *testing.T, f radio.Frame) radio.Frame {
+	t.Helper()
+	b, err := MarshalFrame(f)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", f, err)
+	}
+	got, err := UnmarshalFrame(b)
+	if err != nil {
+		t.Fatalf("unmarshal %T: %v", f, err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip changed\n in: %#v\nout: %#v", f, got)
+	}
+	return got
+}
+
+func TestRoundTripAllFrames(t *testing.T) {
+	frames := []radio.Frame{
+		&core.RingFrame{}, // empty slot
+		&core.RingFrame{Slot: core.SlotPayload{Busy: true, Hops: 3, Pkt: core.Packet{
+			Src: 1, Dst: 5, Class: core.Assured, Seq: 42, Enqueued: 100,
+			Deadline: 250, AheadOnArrival: 7, Ext: -9, Tagged: true,
+		}}},
+		&core.RingFrame{Sat: &core.SatInfo{RAPMutex: true, RAPOwner: 3, Rounds: 77}},
+		&core.RingFrame{SatRec: &core.SatRecInfo{Origin: 2, Failed: 1, FailedNext: 2, DetectedAt: 999}},
+		&core.RingFrame{Leave: &core.LeaveInfo{Leaver: 6}},
+		&core.RingFrame{
+			Slot:   core.SlotPayload{Busy: true, Pkt: core.Packet{Src: 0, Dst: 1, Copied: true}},
+			Sat:    &core.SatInfo{RAPOwner: 1},
+			SatRec: &core.SatRecInfo{Origin: 4, Failed: 3, FailedNext: 4},
+			Leave:  &core.LeaveInfo{Leaver: 9},
+		},
+		core.NextFreeFrame{Sender: 4, SenderCode: 5, Next: 5, NextCode: 6, TEar: 12, MaxResources: 1 << 30},
+		core.JoinReqFrame{Addr: 100, Code: 101, L: 2, K: 3},
+		core.JoinAckFrame{Accept: true, Pred: 4, Succ: 5, SuccCode: 6, SatTime: 88},
+		core.JoinAckFrame{Accept: false},
+		core.RingLostFrame{Reporter: 7, Epoch: 3},
+		core.CutInfo{Failed: 11},
+	}
+	for _, f := range frames {
+		roundTrip(t, f)
+	}
+}
+
+func TestUnknownAndTruncated(t *testing.T) {
+	if _, err := UnmarshalFrame([]byte{99}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := UnmarshalFrame(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	full, err := MarshalFrame(core.NextFreeFrame{Sender: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := UnmarshalFrame(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := UnmarshalFrame(append(full, 0xAA)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := MarshalFrame("not a frame"); err == nil {
+		t.Fatal("foreign type accepted")
+	}
+}
+
+func TestRingFramePropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(busy, sat, rec, leave bool, src, dst int16, class uint8,
+		seq int64, hops int32, mutex bool) bool {
+		f := &core.RingFrame{}
+		f.Slot.Hops = hops
+		if busy {
+			f.Slot.Busy = true
+			f.Slot.Pkt = core.Packet{
+				Src: core.StationID(src), Dst: core.StationID(dst),
+				Class: core.Class(class % 3), Seq: seq,
+				Enqueued: sim.Time(seq ^ 0x55), Deadline: int64(hops),
+			}
+		}
+		if sat {
+			f.Sat = &core.SatInfo{RAPMutex: mutex, RAPOwner: core.StationID(dst), Rounds: seq}
+		}
+		if rec {
+			f.SatRec = &core.SatRecInfo{Origin: core.StationID(src),
+				Failed: core.StationID(dst), FailedNext: core.StationID(src), DetectedAt: seq}
+		}
+		if leave {
+			f.Leave = &core.LeaveInfo{Leaver: core.StationID(src)}
+		}
+		b, err := MarshalFrame(f)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalFrame(b)
+		return err == nil && reflect.DeepEqual(f, got)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderOverheadNumbers(t *testing.T) {
+	// An empty slot frame is the per-slot control cost: tag + mask + hops.
+	empty, err := HeaderOverhead(&core.RingFrame{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != 6 {
+		t.Fatalf("empty slot frame = %d bytes, want 6", empty)
+	}
+	// Carrying the SAT costs 12 extra bytes.
+	withSat, _ := HeaderOverhead(&core.RingFrame{Sat: &core.SatInfo{}})
+	if withSat-empty != 12 {
+		t.Fatalf("SAT overhead %d", withSat-empty)
+	}
+	// A busy slot's header (addresses, class, timestamps) is 45 bytes.
+	busy, _ := HeaderOverhead(&core.RingFrame{Slot: core.SlotPayload{Busy: true}})
+	if busy-empty != 45 {
+		t.Fatalf("packet header %d bytes", busy-empty)
+	}
+}

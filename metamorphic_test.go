@@ -1,0 +1,116 @@
+package wrtring
+
+import "testing"
+
+// Metamorphic properties: relations between runs that must hold whatever
+// the absolute numbers are. These catch whole-model distortions that
+// point-assertions miss.
+
+// In the quota-limited regime, more quota means more throughput; and no
+// quota setting can push throughput past the slot-hop supply N/dist.
+// (Beyond the slot-hop limit the relation genuinely inverts: a large l
+// makes the SAT holder batch its service, and empty slots crossing
+// already-exhausted stations are wasted hops — measured here as l=4
+// throughput dipping below l=2's. The protocol prefers small, frequent
+// quotas; the paper's own examples use l of 1–2.)
+func TestMetamorphicQuotaMonotonicityWhileQuotaLimited(t *testing.T) {
+	run := func(l int) float64 {
+		res, err := Run(Scenario{
+			N: 10, L: l, K: 0, Seed: 300, Duration: 20_000,
+			Sources: []Source{{Station: AllStations, Class: Premium,
+				Dest: Opposite(), Preload: 20_000}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	slotLimit := 10.0 / 5.0 // N / dist
+	t1, t2, t4 := run(1), run(2), run(4)
+	if t2 < t1-1e-9 {
+		t.Fatalf("quota-limited regime not monotone: l=1:%f l=2:%f", t1, t2)
+	}
+	for l, v := range map[int]float64{1: t1, 2: t2, 4: t4} {
+		if v > slotLimit*1.01 {
+			t.Fatalf("l=%d throughput %f exceeds the slot-hop supply %f", l, v, slotLimit)
+		}
+	}
+}
+
+// The idle rotation is exactly N for every size (the S term of the bound).
+func TestMetamorphicIdleRotationEqualsN(t *testing.T) {
+	for _, n := range []int{4, 7, 13, 29, 61} {
+		res, err := Run(Scenario{N: n, L: 1, K: 1, Seed: 301, Duration: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanRotation != float64(n) {
+			t.Fatalf("N=%d: idle rotation %f", n, res.MeanRotation)
+		}
+	}
+}
+
+// Adding stations that carry no traffic dilates delays but never breaks
+// the (larger) bound, and active stations' deliveries are unchanged in
+// count.
+func TestMetamorphicIdleStationsOnlyDilate(t *testing.T) {
+	run := func(n int) *Result {
+		res, err := Run(Scenario{
+			N: n, L: 2, K: 2, Seed: 302, Duration: 30_000,
+			Sources: []Source{{Station: 0, Kind: CBR, Class: Premium,
+				Period: 60, Dest: Fixed(2)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small, big := run(6), run(18)
+	if small.Delivered[Premium] != big.Delivered[Premium] {
+		t.Fatalf("delivered changed with idle stations: %d vs %d",
+			small.Delivered[Premium], big.Delivered[Premium])
+	}
+	if big.MeanDelay[Premium] < small.MeanDelay[Premium] {
+		t.Fatalf("longer ring gave shorter delays: %f vs %f",
+			big.MeanDelay[Premium], small.MeanDelay[Premium])
+	}
+	if float64(big.MaxRotation) >= float64(big.RotationBound) {
+		t.Fatal("bound broken in the dilated ring")
+	}
+}
+
+// Halving the offered rate can never increase premium delay under a
+// deterministic CBR load.
+func TestMetamorphicLoadMonotonicity(t *testing.T) {
+	run := func(period int64) float64 {
+		res, err := Run(Scenario{
+			N: 8, L: 2, K: 2, Seed: 303, Duration: 40_000,
+			Sources: []Source{{Station: AllStations, Kind: CBR, Class: Premium,
+				Period: period, Dest: Opposite()}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanDelay[Premium]
+	}
+	heavy, light := run(12), run(48)
+	if light > heavy+1e-9 {
+		t.Fatalf("lighter load has higher delay: %f vs %f", light, heavy)
+	}
+}
+
+// A seed change must not change any analytic quantity (bounds are pure
+// functions of the configuration).
+func TestMetamorphicBoundsSeedInvariant(t *testing.T) {
+	a, err := Run(Scenario{N: 12, L: 3, K: 1, Seed: 1, Duration: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Scenario{N: 12, L: 3, K: 1, Seed: 999, Duration: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RotationBound != b.RotationBound || a.MeanRotationBound != b.MeanRotationBound {
+		t.Fatal("bounds changed with the seed")
+	}
+}

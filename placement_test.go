@@ -1,0 +1,103 @@
+package wrtring
+
+import "testing"
+
+func TestClusteredPlacementBuilds(t *testing.T) {
+	// Clustered layouts are the "groups around tables" indoor scenario;
+	// most seeds admit a ring at default density.
+	ok := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		net, err := Build(Scenario{
+			N: 12, L: 1, K: 1, Seed: seed, Duration: 4000,
+			Placement: PlacementClustered, Range: 60, // generous indoor radios
+		})
+		if err != nil {
+			continue // too sparse for a ring: a legitimate outcome
+		}
+		res := net.Run()
+		if res.Dead {
+			t.Fatalf("seed %d: built ring died immediately", seed)
+		}
+		if res.Rounds == 0 {
+			t.Fatalf("seed %d: SAT never rotated", seed)
+		}
+		ok++
+	}
+	if ok < 10 {
+		t.Fatalf("only %d/20 clustered seeds produced a working ring", ok)
+	}
+}
+
+func TestRandomPlacementBuilds(t *testing.T) {
+	ok := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		net, err := Build(Scenario{
+			N: 14, L: 1, K: 1, Seed: seed, Duration: 4000,
+			Placement: PlacementRandom,
+		})
+		if err != nil {
+			continue
+		}
+		res := net.Run()
+		if res.Dead || res.Rounds == 0 {
+			t.Fatalf("seed %d: random-placement ring broken", seed)
+		}
+		ok++
+	}
+	if ok < 5 {
+		t.Fatalf("only %d/10 random seeds produced a working ring", ok)
+	}
+}
+
+func TestTPTOnClusteredPlacement(t *testing.T) {
+	// TPT only needs a connected graph (tree), so clustered layouts that
+	// reject a ring can still run the baseline.
+	res, err := Run(Scenario{
+		Protocol: TPT, N: 12, L: 1, K: 1, Seed: 2, Duration: 6000,
+		Placement: PlacementClustered,
+	})
+	if err != nil {
+		t.Skipf("disconnected layout: %v", err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("token never rotated")
+	}
+	// Deep trees still satisfy hops/round = 2(N-1).
+	if res.HopsPerRound < float64(2*(res.N-1))-1 {
+		t.Fatalf("hops/round %.1f for N=%d", res.HopsPerRound, res.N)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Scenario{N: 2}); err == nil {
+		t.Fatal("N=2 accepted")
+	}
+	if _, err := Build(Scenario{N: 8, Quotas: make([]Quota, 3)}); err == nil {
+		t.Fatal("quota length mismatch accepted")
+	}
+	if _, err := Build(Scenario{N: 8, Sources: []Source{{Station: 99, Kind: CBR,
+		Period: 10, Class: Premium, Dest: Opposite()}}}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	// Ring impossible: stations too sparse.
+	if _, err := Build(Scenario{N: 8, RangeChords: 0.5}); err == nil {
+		t.Fatal("sub-chord range accepted")
+	}
+}
+
+func TestCodesForAssignsValidCodes(t *testing.T) {
+	a, err := CodesFor(Scenario{N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 16 {
+		t.Fatalf("assignment covers %d", len(a))
+	}
+	// Dense circle at 2.5 chords: far fewer codes than stations.
+	if a.NumCodes() >= 16 {
+		t.Fatalf("no code reuse: %d codes", a.NumCodes())
+	}
+	if _, err := CodesFor(Scenario{N: 8, Placement: PlacementRandom}); err == nil {
+		t.Fatal("CodesFor accepted non-circle placement")
+	}
+}

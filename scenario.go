@@ -1,0 +1,183 @@
+package wrtring
+
+import (
+	"fmt"
+
+	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/topology"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// This file extends the Scenario API with the dynamic-environment features
+// of §2.4/§2.5: scripted churn (joins, leaves, silent failures, signal
+// losses), the low-mobility waypoint model, and the protocol event journal.
+
+// ChurnKind enumerates scripted topology events.
+type ChurnKind int
+
+// Churn operations.
+const (
+	// Kill powers Station off silently (§2.5: SAT loss, timers, splice).
+	Kill ChurnKind = iota
+	// Leave makes Station depart voluntarily (§2.4.2).
+	Leave
+	// Join introduces a new station placed between ring positions Station
+	// and Station+1, which enters through the RAP (§2.4.1). Requires
+	// EnableRAP.
+	Join
+	// LoseSignal destroys the next control-signal transmission (§2.5).
+	LoseSignal
+)
+
+func (k ChurnKind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Leave:
+		return "leave"
+	case Join:
+		return "join"
+	case LoseSignal:
+		return "lose-signal"
+	default:
+		return fmt.Sprintf("churn(%d)", int(k))
+	}
+}
+
+// ChurnOp is one scripted topology event.
+type ChurnOp struct {
+	At      int64
+	Kind    ChurnKind
+	Station int
+	// Quota applies to Join ops (zero value gets L=1, K1=1).
+	Quota Quota
+}
+
+// Mobility configures the low-mobility random-waypoint model of the paper's
+// indoor scenarios. Stations amble toward random targets at Speed distance
+// units per slot, pausing between legs; positions update every StepEvery
+// slots.
+type Mobility struct {
+	Speed              float64
+	PauseMin, PauseMax int64
+	StepEvery          int64
+}
+
+// Journal returns the protocol event journal (nil unless Scenario.Trace was
+// set).
+func (n *Network) Journal() *trace.Recorder { return n.journal }
+
+// Joiners returns the joiner state machines created by scripted Join ops.
+func (n *Network) Joiners() []*core.Joiner { return n.joiners }
+
+// applyChurn installs the scripted operations onto the kernel.
+func (n *Network) applyChurn(ops []ChurnOp) error {
+	nextID := core.StationID(1000)
+	for i, op := range ops {
+		op := op
+		if op.Kind != LoseSignal && (op.Station < 0 || op.Station >= n.Scenario.N) {
+			return fmt.Errorf("wrtring: churn op %d targets station %d (N=%d)", i, op.Station, n.Scenario.N)
+		}
+		if op.Kind == Join {
+			if n.Ring == nil {
+				return fmt.Errorf("wrtring: scripted joins are only supported on WRT-Ring")
+			}
+			if !n.Scenario.EnableRAP {
+				return fmt.Errorf("wrtring: churn op %d is a Join but EnableRAP is off", i)
+			}
+		}
+		id := nextID
+		nextID++
+		n.Kernel.At(sim.Time(op.At), sim.PrioAdmin, func() {
+			switch op.Kind {
+			case Kill:
+				if n.Ring != nil {
+					n.Ring.KillStation(core.StationID(op.Station))
+				} else {
+					n.Tree.KillStation(core.StationID(op.Station))
+				}
+			case Leave:
+				if n.Ring != nil {
+					if st := n.Ring.Station(core.StationID(op.Station)); st != nil {
+						st.Leave()
+					}
+				} else {
+					n.Tree.KillStation(core.StationID(op.Station)) // TPT has no graceful leave
+				}
+			case LoseSignal:
+				if n.Ring != nil {
+					n.Ring.LoseSATOnce()
+				} else {
+					n.Tree.LoseTokenOnce()
+				}
+			case Join:
+				n.scriptedJoin(id, op)
+			}
+		})
+	}
+	return nil
+}
+
+func (n *Network) scriptedJoin(id core.StationID, op ChurnOp) {
+	ring := n.Ring
+	a := ring.Station(core.StationID(op.Station))
+	b := ring.Station(core.StationID((op.Station + 1) % n.Scenario.N))
+	if a == nil || b == nil || !a.Active() || !b.Active() {
+		return
+	}
+	pa, pb := n.Medium.PositionOf(a.Node), n.Medium.PositionOf(b.Node)
+	mid := radio.Position{X: (pa.X + pb.X) / 2, Y: (pa.Y + pb.Y) / 2}
+	node := n.Medium.AddNode(mid, n.Medium.RangeOf(a.Node), nil)
+	q := op.Quota
+	if q.L == 0 && q.K() == 0 {
+		q = Quota{L: 1, K1: 1}
+	}
+	j := ring.NewJoiner(id, node, radio.Code(1000+int(id)), q)
+	n.joiners = append(n.joiners, j)
+}
+
+// applyMobility starts the waypoint stepper.
+func (n *Network) applyMobility(m *Mobility) {
+	if m.StepEvery <= 0 {
+		m.StepEvery = 100
+	}
+	// The waypoint area spans the bounding box of the placement, padded a
+	// little so edge stations can still wander.
+	var w, h float64
+	for _, p := range n.Positions {
+		if p.X > w {
+			w = p.X
+		}
+		if p.Y > h {
+			h = p.Y
+		}
+	}
+	wp := topology.NewWaypoint(w*1.1, h*1.1, m.Speed, m.PauseMin, m.PauseMax, n.RNG.Split())
+	pos := append([]radio.Position(nil), n.Positions...)
+	n.Kernel.EverySlot(0, sim.PrioStats, func(t sim.Time) bool {
+		if t == 0 || int64(t)%m.StepEvery != 0 {
+			return true
+		}
+		pos = wp.Step(pos, m.StepEvery)
+		for i := 0; i < n.Scenario.N; i++ {
+			var node radio.NodeID
+			if n.Ring != nil {
+				st := n.Ring.Station(core.StationID(i))
+				if st == nil {
+					continue
+				}
+				node = st.Node
+			} else {
+				st := n.Tree.Station(core.StationID(i))
+				if st == nil {
+					continue
+				}
+				node = st.Node
+			}
+			n.Medium.SetPosition(node, pos[i])
+		}
+		return true
+	})
+}

@@ -1,0 +1,192 @@
+// Package sweep runs batches of independent scenarios across a worker pool
+// and aggregates their results deterministically. Every simulation is
+// single-threaded and seeded, so running them in parallel changes wall
+// clock, never outcomes — the property the tests in this package assert.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// Point is one named scenario in a sweep.
+type Point struct {
+	Name     string
+	Scenario wrtring.Scenario
+}
+
+// Outcome pairs a point with its result (or build error).
+type Outcome struct {
+	Point  Point
+	Result *wrtring.Result
+	Err    error
+}
+
+// Run executes all points with the given parallelism (0 or negative means
+// GOMAXPROCS) and returns outcomes in input order.
+func Run(points []Point, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	out := make([]Outcome, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := points[i]
+				res, err := wrtring.Run(p.Scenario)
+				out[i] = Outcome{Point: p, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// OverN builds a sweep varying the station count.
+func OverN(base wrtring.Scenario, ns []int) []Point {
+	pts := make([]Point, 0, len(ns))
+	for _, n := range ns {
+		s := base
+		s.N = n
+		pts = append(pts, Point{Name: fmt.Sprintf("N=%d", n), Scenario: s})
+	}
+	return pts
+}
+
+// OverSeeds builds a sweep replicating one scenario across seeds —
+// the standard way to get confidence intervals out of the simulator.
+func OverSeeds(base wrtring.Scenario, seeds []uint64) []Point {
+	pts := make([]Point, 0, len(seeds))
+	for _, seed := range seeds {
+		s := base
+		s.Seed = seed
+		pts = append(pts, Point{Name: fmt.Sprintf("seed=%d", seed), Scenario: s})
+	}
+	return pts
+}
+
+// OverQuota builds a sweep varying the uniform (l, k) quota pair.
+func OverQuota(base wrtring.Scenario, lks [][2]int) []Point {
+	pts := make([]Point, 0, len(lks))
+	for _, lk := range lks {
+		s := base
+		s.L, s.K = lk[0], lk[1]
+		pts = append(pts, Point{Name: fmt.Sprintf("l=%d,k=%d", lk[0], lk[1]), Scenario: s})
+	}
+	return pts
+}
+
+// OverProtocol duplicates every point for both protocols, name-prefixed.
+func OverProtocol(points []Point) []Point {
+	out := make([]Point, 0, 2*len(points))
+	for _, proto := range []wrtring.Protocol{wrtring.WRTRing, wrtring.TPT} {
+		for _, p := range points {
+			s := p.Scenario
+			s.Protocol = proto
+			out = append(out, Point{Name: proto.String() + "/" + p.Name, Scenario: s})
+		}
+	}
+	return out
+}
+
+// Summary aggregates replicated outcomes (e.g. from OverSeeds): mean and
+// spread of a metric extracted from each successful result.
+type Summary struct {
+	N         int
+	Mean, Min float64
+	Max       float64
+	Errors    int
+}
+
+// Aggregate folds a metric over outcomes.
+func Aggregate(outs []Outcome, metric func(*wrtring.Result) float64) Summary {
+	s := Summary{Min: 1e308, Max: -1e308}
+	var sum float64
+	for _, o := range outs {
+		if o.Err != nil || o.Result == nil {
+			s.Errors++
+			continue
+		}
+		v := metric(o.Result)
+		sum += v
+		s.N++
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if s.N > 0 {
+		s.Mean = sum / float64(s.N)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// CSV renders outcomes as a CSV table of the core comparison metrics,
+// sorted stably by point order.
+func CSV(outs []Outcome) string {
+	rows := make([]string, 0, len(outs)+1)
+	rows = append(rows, "name,protocol,n,rounds,mean_rotation,max_rotation,rotation_bound,throughput,delivered_premium,detections,splices,reforms,dead")
+	for _, o := range outs {
+		if o.Err != nil {
+			rows = append(rows, fmt.Sprintf("%s,ERROR,%v", o.Point.Name, o.Err))
+			continue
+		}
+		r := o.Result
+		rows = append(rows, fmt.Sprintf("%s,%s,%d,%d,%.3f,%d,%d,%.5f,%d,%d,%d,%d,%v",
+			o.Point.Name, r.Protocol, r.N, r.Rounds, r.MeanRotation, r.MaxRotation,
+			r.RotationBound, r.Throughput, r.Delivered[wrtring.Premium],
+			r.Detections, r.Splices, r.Reformations, r.Dead))
+	}
+	var b []byte
+	for _, row := range rows {
+		b = append(b, row...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Names returns the point names in order (test helper).
+func Names(outs []Outcome) []string {
+	names := make([]string, len(outs))
+	for i, o := range outs {
+		names[i] = o.Point.Name
+	}
+	return names
+}
+
+// SortByThroughput orders outcomes by descending throughput (stable),
+// errors last.
+func SortByThroughput(outs []Outcome) {
+	sort.SliceStable(outs, func(a, b int) bool {
+		ra, rb := outs[a].Result, outs[b].Result
+		if ra == nil {
+			return false
+		}
+		if rb == nil {
+			return true
+		}
+		return ra.Throughput > rb.Throughput
+	})
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+func base() wrtring.Scenario {
+	return wrtring.Scenario{
+		N: 8, L: 2, K: 2, Seed: 1, Duration: 4000,
+		Sources: []wrtring.Source{{
+			Station: wrtring.AllStations, Kind: wrtring.CBR,
+			Class: wrtring.Premium, Period: 50, Dest: wrtring.Opposite(),
+		}},
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	pts := OverProtocol(OverN(base(), []int{6, 8, 10, 12}))
+	serial := Run(pts, 1)
+	parallel := Run(pts, 8)
+	if len(serial) != len(parallel) {
+		t.Fatal("length mismatch")
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("errors: %v / %v", serial[i].Err, parallel[i].Err)
+		}
+		if *serial[i].Result != *parallel[i].Result {
+			t.Fatalf("point %s diverged between serial and parallel runs", pts[i].Name)
+		}
+	}
+}
+
+func TestRunPreservesOrder(t *testing.T) {
+	pts := OverN(base(), []int{6, 8, 10})
+	outs := Run(pts, 3)
+	names := Names(outs)
+	want := []string{"N=6", "N=8", "N=10"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order %v", names)
+		}
+	}
+}
+
+func TestRunEmptyAndErrors(t *testing.T) {
+	if got := Run(nil, 4); len(got) != 0 {
+		t.Fatal("non-empty result for empty sweep")
+	}
+	bad := base()
+	bad.N = 1 // invalid
+	outs := Run([]Point{{Name: "bad", Scenario: bad}}, 2)
+	if outs[0].Err == nil {
+		t.Fatal("invalid scenario did not error")
+	}
+}
+
+func TestOverSeedsAndAggregate(t *testing.T) {
+	pts := OverSeeds(base(), []uint64{1, 2, 3, 4, 5})
+	outs := Run(pts, 0)
+	sum := Aggregate(outs, func(r *wrtring.Result) float64 { return r.Throughput })
+	if sum.N != 5 || sum.Errors != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.Mean <= 0 || sum.Min > sum.Mean || sum.Max < sum.Mean {
+		t.Fatalf("summary stats inconsistent: %+v", sum)
+	}
+	// Different seeds with Poisson-free CBR traffic: throughput is nearly
+	// identical, but rotation jitter differs; at minimum the spread is
+	// bounded by min <= max.
+	if sum.Min > sum.Max {
+		t.Fatal("min > max")
+	}
+}
+
+func TestOverQuota(t *testing.T) {
+	pts := OverQuota(base(), [][2]int{{1, 1}, {4, 2}})
+	if len(pts) != 2 || pts[1].Scenario.L != 4 || pts[1].Scenario.K != 2 {
+		t.Fatalf("points %+v", pts)
+	}
+	if pts[0].Name != "l=1,k=1" {
+		t.Fatalf("name %s", pts[0].Name)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	outs := Run(OverN(base(), []int{6}), 1)
+	csv := CSV(outs)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if !strings.HasPrefix(lines[0], "name,protocol,n,") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "N=6,wrt-ring,6,") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}
+
+func TestSortByThroughput(t *testing.T) {
+	// Neighbour saturation beats opposite saturation.
+	opp := base()
+	opp.Sources = []wrtring.Source{{Station: wrtring.AllStations, Class: wrtring.Premium,
+		Dest: wrtring.Opposite(), Preload: 4000}}
+	nbr := base()
+	nbr.Sources = []wrtring.Source{{Station: wrtring.AllStations, Class: wrtring.Premium,
+		Dest: wrtring.Offset(1), Preload: 4000}}
+	outs := Run([]Point{{Name: "opp", Scenario: opp}, {Name: "nbr", Scenario: nbr}}, 2)
+	SortByThroughput(outs)
+	if outs[0].Point.Name != "nbr" {
+		t.Fatalf("sort order: %v", Names(outs))
+	}
+}

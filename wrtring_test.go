@@ -1,0 +1,139 @@
+package wrtring
+
+import "testing"
+
+func TestRunQuickScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		N: 8, L: 2, K: 2, Duration: 5000, Seed: 1,
+		Sources: []Source{{
+			Station: AllStations, Kind: CBR, Class: Premium,
+			Period: 50, Dest: Opposite(),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dead {
+		t.Fatalf("ring died")
+	}
+	if res.Delivered[Premium] == 0 {
+		t.Fatalf("no premium deliveries")
+	}
+	if res.MaxRotation >= res.RotationBound {
+		t.Fatalf("rotation %d >= bound %d", res.MaxRotation, res.RotationBound)
+	}
+	if res.Rounds < 100 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunTPTScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		Protocol: TPT, N: 8, L: 2, K: 2, Duration: 5000, Seed: 1,
+		Sources: []Source{{
+			Station: AllStations, Kind: CBR, Class: Premium,
+			Period: 50, Dest: Opposite(),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dead {
+		t.Fatalf("tree died")
+	}
+	if res.Delivered[Premium] == 0 {
+		t.Fatalf("no sync deliveries")
+	}
+	if res.MaxRotation > res.RotationBound {
+		t.Fatalf("rotation %d > 2·TTRT %d", res.MaxRotation, res.RotationBound)
+	}
+}
+
+func TestHopsPerRoundMatchesPaper(t *testing.T) {
+	// §3.2.1: SAT travels N links per round, token 2·(N−1).
+	for _, n := range []int{5, 10, 20} {
+		ring, err := Run(Scenario{N: n, Duration: 4000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.HopsPerRound != float64(n) {
+			t.Fatalf("N=%d: SAT hops/round = %.1f, want %d", n, ring.HopsPerRound, n)
+		}
+		tree, err := Run(Scenario{Protocol: TPT, N: n, Duration: 4000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(2 * (n - 1))
+		if tree.HopsPerRound < want-0.5 || tree.HopsPerRound > want+0.5 {
+			t.Fatalf("N=%d: token hops/round = %.2f, want %.0f", n, tree.HopsPerRound, want)
+		}
+	}
+}
+
+func TestDisableCDMAKillsThroughput(t *testing.T) {
+	// E1 / Figure 1: without per-station codes, concurrent ring
+	// transmissions collide and stations receive corrupted data.
+	with, err := Run(Scenario{N: 8, Duration: 4000, Seed: 3, Sources: []Source{{
+		Station: AllStations, Kind: CBR, Class: BestEffort, Period: 20, Dest: Offset(1),
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(Scenario{N: 8, Duration: 4000, Seed: 3, DisableCDMA: true,
+		DisableRecovery: true, // the SAT dies under collisions; isolate the data path
+		Sources: []Source{{
+			Station: AllStations, Kind: CBR, Class: BestEffort, Period: 20, Dest: Offset(1),
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.RadioCollisions != 0 {
+		t.Fatalf("CDMA run saw %d collisions", with.RadioCollisions)
+	}
+	if without.RadioCollisions == 0 {
+		t.Fatalf("no collisions without CDMA")
+	}
+	if without.Throughput >= with.Throughput/4 {
+		t.Fatalf("collision-dominated throughput %.4f not far below CDMA %.4f",
+			without.Throughput, with.Throughput)
+	}
+}
+
+func TestBoundsForMatchesPaperFormulas(t *testing.T) {
+	s := Scenario{N: 10, L: 2, K: 2}
+	satRT, tokenRT, satLoss, tokenLoss := BoundsFor(s)
+	if satRT != 10 {
+		t.Fatalf("satRT = %d", satRT)
+	}
+	if tokenRT != 18 {
+		t.Fatalf("tokenRT = %d", tokenRT)
+	}
+	// SAT_TIME = S + Trap + 2·N·(l+k) = 10 + 0 + 80 = 90.
+	if satLoss != 90 {
+		t.Fatalf("satLoss = %d", satLoss)
+	}
+	// TTRT_min = ΣH + 2(N−1) = 40 + 18 = 58; reaction bound 116.
+	if tokenLoss != 116 {
+		t.Fatalf("tokenLoss = %d", tokenLoss)
+	}
+	if satLoss >= tokenLoss {
+		t.Fatalf("§3.3 claim SAT_TIME < 2·TTRT violated: %d >= %d", satLoss, tokenLoss)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	s := Scenario{N: 10, Duration: 8000, Seed: 99, EnableRAP: true,
+		Sources: []Source{{Station: AllStations, Kind: Poisson, Class: Premium,
+			Mean: 60, Dest: Uniform()}}}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("results differ:\n%+v\n%+v", a, b)
+	}
+}
