@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench cover examples experiments clean
+.PHONY: all build vet test test-race race check bench cover examples experiments clean
 
 all: build vet test
 
@@ -15,6 +15,14 @@ test:
 
 test-race:
 	$(GO) test -race ./sweep ./internal/sim
+
+# race runs the whole module under the race detector — the parallel runner
+# makes every package's batch paths multi-threaded, so all of them count.
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: compile, static analysis, tests, races.
+check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,12 +2,13 @@
 // slot-removal policy (spatial reuse), RAP length (bound inflation),
 // splice-vs-reform recovery, radio loss rates, and mobility. These are not
 // paper claims but quantify how much each mechanism contributes.
-package wrtring
+package wrtring_test
 
 import (
 	"fmt"
 	"testing"
 
+	. "github.com/rtnet/wrtring"
 	"github.com/rtnet/wrtring/internal/core"
 	"github.com/rtnet/wrtring/internal/sim"
 )

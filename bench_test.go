@@ -6,20 +6,35 @@
 // paper-vs-measured for each.
 //
 // Run with: go test -bench=. -benchmem
-package wrtring
+//
+// The file lives in the external wrtring_test package (dot-importing the
+// library) so that the multi-scenario benchmarks can dispatch their grids
+// through internal/runner — which imports wrtring and therefore cannot be
+// used from the library's own test package. Pass -jobs to spread those
+// grids across workers; -jobs 1 reproduces the serial runs byte-for-byte.
+package wrtring_test
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
+	. "github.com/rtnet/wrtring"
 	"github.com/rtnet/wrtring/internal/analysis"
 	"github.com/rtnet/wrtring/internal/bwalloc"
 	"github.com/rtnet/wrtring/internal/core"
 	"github.com/rtnet/wrtring/internal/csma"
 	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/runner"
 	"github.com/rtnet/wrtring/internal/sim"
 	"github.com/rtnet/wrtring/internal/topology"
 )
+
+// benchJobs spreads each benchmark's scenario grid across a worker pool.
+// Per-run determinism makes the reported metrics independent of the value.
+var benchJobs = flag.Int("jobs", runtime.NumCPU(),
+	"parallel simulation workers for batched benchmarks; 1 runs serially")
 
 // satScenario saturates every station with Premium+BestEffort toward dest.
 func satScenario(proto Protocol, n int, dest DestSpec, dur int64, seed uint64) Scenario {
@@ -41,16 +56,32 @@ func mustRun(b *testing.B, s Scenario) *Result {
 	return res
 }
 
+// runBatch is the replicate-loop executor: it dispatches independent
+// scenarios across the -jobs worker pool and fails the benchmark on the
+// first error. Results come back in submission order, so callers index
+// them exactly like the serial runs they replace.
+func runBatch(b *testing.B, ss ...Scenario) []*Result {
+	b.Helper()
+	out := make([]*Result, len(ss))
+	for i, r := range runner.RunScenarios(ss, runner.Options{Jobs: *benchJobs}) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		out[i] = r.Res
+	}
+	return out
+}
+
 // BenchmarkE1CDMAConcurrency — Figure 1 / §2.1: with CDMA, concurrent
 // transmissions on the ring never collide; without it (one shared code)
 // stations receive corrupted data and throughput collapses.
 func BenchmarkE1CDMAConcurrency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		with := mustRun(b, satScenario(WRTRing, 12, Offset(1), 20_000, 1))
 		base := satScenario(WRTRing, 12, Offset(1), 20_000, 1)
 		base.DisableCDMA = true
 		base.DisableRecovery = true
-		without := mustRun(b, base)
+		res := runBatch(b, satScenario(WRTRing, 12, Offset(1), 20_000, 1), base)
+		with, without := res[0], res[1]
 		if with.RadioCollisions != 0 {
 			b.Fatalf("CDMA run collided %d times", with.RadioCollisions)
 		}
@@ -66,8 +97,10 @@ func BenchmarkE2HopsPerRound(b *testing.B) {
 	for _, n := range []int{5, 10, 20, 50} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ring := mustRun(b, Scenario{N: n, Duration: 20_000, Seed: 2})
-				tree := mustRun(b, Scenario{Protocol: TPT, N: n, Duration: 20_000, Seed: 2})
+				res := runBatch(b,
+					Scenario{N: n, Duration: 20_000, Seed: 2},
+					Scenario{Protocol: TPT, N: n, Duration: 20_000, Seed: 2})
+				ring, tree := res[0], res[1]
 				if ring.HopsPerRound != float64(n) {
 					b.Fatalf("SAT hops/round = %.1f, want %d", ring.HopsPerRound, n)
 				}
@@ -92,10 +125,10 @@ func BenchmarkE3SignalRoundTrip(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := Scenario{N: n, L: 2, K: 2, EnableRAP: true, Duration: 30_000, Seed: 3}
 				satRT, tokenRT, _, _ := BoundsFor(s)
-				ring := mustRun(b, s)
 				st := s
 				st.Protocol = TPT
-				tree := mustRun(b, st)
+				res := runBatch(b, s, st)
+				ring, tree := res[0], res[1]
 				if ring.MeanRotation >= tree.MeanRotation {
 					b.Fatalf("SAT rotation %.1f not below token rotation %.1f",
 						ring.MeanRotation, tree.MeanRotation)
@@ -300,16 +333,18 @@ func BenchmarkE8AccessDelayBound(b *testing.B) {
 // best-effort (k2).
 func BenchmarkE9DiffservClasses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		baseline := mustRun(b, Scenario{N: 10, L: 2, K: 4, Seed: 9, Duration: 40_000,
-			Sources: []Source{
-				{Station: AllStations, Kind: CBR, Class: Premium, Period: 60, Dest: Opposite()},
-			}})
-		overload := mustRun(b, Scenario{N: 10, L: 2, K: 4, Seed: 9, Duration: 40_000,
-			Sources: []Source{
-				{Station: AllStations, Kind: CBR, Class: Premium, Period: 60, Dest: Opposite()},
-				{Station: AllStations, Kind: CBR, Class: Assured, Period: 90, Dest: Opposite()},
-				{Station: AllStations, Class: BestEffort, Dest: Opposite(), Preload: 40_000},
-			}})
+		res := runBatch(b,
+			Scenario{N: 10, L: 2, K: 4, Seed: 9, Duration: 40_000,
+				Sources: []Source{
+					{Station: AllStations, Kind: CBR, Class: Premium, Period: 60, Dest: Opposite()},
+				}},
+			Scenario{N: 10, L: 2, K: 4, Seed: 9, Duration: 40_000,
+				Sources: []Source{
+					{Station: AllStations, Kind: CBR, Class: Premium, Period: 60, Dest: Opposite()},
+					{Station: AllStations, Kind: CBR, Class: Assured, Period: 90, Dest: Opposite()},
+					{Station: AllStations, Class: BestEffort, Dest: Opposite(), Preload: 40_000},
+				}})
+		baseline, overload := res[0], res[1]
 		// Premium deliveries and delay must be unaffected by the overload.
 		if overload.Delivered[Premium] < baseline.Delivered[Premium]*99/100 {
 			b.Fatalf("premium starved: %d vs %d", overload.Delivered[Premium], baseline.Delivered[Premium])
@@ -440,10 +475,13 @@ func BenchmarkE12Capacity(b *testing.B) {
 	for _, n := range []int{8, 16, 32} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rOpp := mustRun(b, satScenario(WRTRing, n, Opposite(), 30_000, 12)).Throughput
-				tOpp := mustRun(b, satScenario(TPT, n, Opposite(), 30_000, 12)).Throughput
-				rNbr := mustRun(b, satScenario(WRTRing, n, Offset(1), 30_000, 12)).Throughput
-				tNbr := mustRun(b, satScenario(TPT, n, Offset(1), 30_000, 12)).Throughput
+				res := runBatch(b,
+					satScenario(WRTRing, n, Opposite(), 30_000, 12),
+					satScenario(TPT, n, Opposite(), 30_000, 12),
+					satScenario(WRTRing, n, Offset(1), 30_000, 12),
+					satScenario(TPT, n, Offset(1), 30_000, 12))
+				rOpp, tOpp := res[0].Throughput, res[1].Throughput
+				rNbr, tNbr := res[2].Throughput, res[3].Throughput
 				if rOpp <= tOpp {
 					b.Fatalf("N=%d: ring capacity %.3f not above tpt %.3f", n, rOpp, tOpp)
 				}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,7 +30,9 @@ func main() {
 	dur := flag.Int64("dur", 30_000, "slots per run")
 	seed := flag.Uint64("seed", 1, "base seed")
 	load := flag.String("load", "cbr", "cbr | saturate | none")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", runtime.NumCPU(),
+		"parallel simulation workers; 1 reproduces the serial run byte-for-byte")
+	progress := flag.Bool("progress", false, "report per-run completion on stderr")
 	flag.Parse()
 
 	base := wrtring.Scenario{N: *n, L: *l, K: *k, Seed: *seed, Duration: *dur}
@@ -101,7 +104,17 @@ func main() {
 		fail("unknown protocols %q", *protocols)
 	}
 
-	outs := sweep.Run(pts, *workers)
+	var onDone func(done, total int, o sweep.Outcome)
+	if *progress {
+		onDone = func(done, total int, o sweep.Outcome) {
+			status := "ok"
+			if o.Err != nil {
+				status = o.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, o.Point.Name, status)
+		}
+	}
+	outs := sweep.RunProgress(pts, *jobs, onDone)
 	fmt.Print(sweep.CSV(outs))
 	for _, o := range outs {
 		if o.Err != nil {

@@ -92,17 +92,14 @@ type destJSON struct {
 func (d DestSpec) MarshalJSON() ([]byte, error) {
 	j := destJSON{Arg: d.arg}
 	switch d.kind {
-	case 1:
+	case destFixed:
 		j.Kind = "fixed"
-	case 2:
+	case destUniform:
 		j.Kind = "uniform"
+	case destOpposite:
+		j.Kind = "opposite"
 	default:
-		if d.arg == -1 {
-			j.Kind = "opposite"
-			j.Arg = 0
-		} else {
-			j.Kind = "offset"
-		}
+		j.Kind = "offset"
 	}
 	return json.Marshal(j)
 }

@@ -1,0 +1,121 @@
+package wrtring
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// TestOffsetNegativeIsUpstream is the regression test for the Opposite()
+// sentinel bug: Offset(-1) used to be indistinguishable from Opposite()
+// (both encoded as offset −1), so the upstream-neighbour workload silently
+// became the halfway-around workload.
+func TestOffsetNegativeIsUpstream(t *testing.T) {
+	rng := sim.NewRNG(1)
+	const n = 8
+	cases := []struct {
+		name string
+		d    DestSpec
+		self int
+		want int
+	}{
+		{"upstream of 0", Offset(-1), 0, 7},
+		{"upstream of 3", Offset(-1), 3, 2},
+		{"two upstream wraps", Offset(-3), 1, 6},
+		{"downstream unchanged", Offset(1), 7, 0},
+		{"opposite of 0", Opposite(), 0, 4},
+		{"opposite of 5", Opposite(), 5, 1},
+	}
+	for _, c := range cases {
+		fn := c.d.fn(c.self, n, rng)
+		if got := int(fn(rng)); got != c.want {
+			t.Errorf("%s: station %d resolves to %d, want %d", c.name, c.self, got, c.want)
+		}
+	}
+}
+
+// TestOppositeDistinctFromOffsetMinusOne pins the encoding itself: the two
+// constructors must not compare equal, or the scenario layer cannot tell
+// the workloads apart.
+func TestOppositeDistinctFromOffsetMinusOne(t *testing.T) {
+	if Opposite() == Offset(-1) {
+		t.Fatalf("Opposite() and Offset(-1) share an encoding")
+	}
+}
+
+// TestDestSpecJSONRoundTrip: every constructor must survive the scenario
+// JSON codec unchanged — in particular Opposite() must not serialise as
+// "offset" (its old sentinel encoding) and Offset(-1) must not serialise
+// as "opposite".
+func TestDestSpecJSONRoundTrip(t *testing.T) {
+	for _, d := range []DestSpec{Offset(-1), Offset(0), Offset(3), Opposite(), Fixed(5), Uniform()} {
+		b, err := d.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got DestSpec
+		if err := got.UnmarshalJSON(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != d {
+			t.Errorf("%+v round-trips through %s into %+v", d, b, got)
+		}
+	}
+}
+
+// TestFixedDestValidated: an out-of-range Fixed destination must fail at
+// Build time with a clear error, not misdeliver packets at run time.
+func TestFixedDestValidated(t *testing.T) {
+	for _, id := range []int{-1, 6, 99} {
+		_, err := Build(Scenario{
+			N: 6, L: 2, K: 2, Seed: 1, Duration: 100,
+			Sources: []Source{{Station: 0, Kind: CBR, Class: Premium, Period: 10, Dest: Fixed(id)}},
+		})
+		if err == nil {
+			t.Fatalf("Fixed(%d) on a 6-station ring built without error", id)
+		}
+		if !strings.Contains(err.Error(), "Fixed") {
+			t.Fatalf("Fixed(%d) error does not name the destination: %v", id, err)
+		}
+	}
+	if _, err := Build(Scenario{
+		N: 6, L: 2, K: 2, Seed: 1, Duration: 100,
+		Sources: []Source{{Station: 0, Kind: CBR, Class: Premium, Period: 10, Dest: Fixed(5)}},
+	}); err != nil {
+		t.Fatalf("in-range Fixed(5) rejected: %v", err)
+	}
+}
+
+// TestUniformValidated: Uniform() on a degenerate ring must be rejected
+// up front rather than panicking in rng.Intn(0) on the first packet.
+func TestUniformValidated(t *testing.T) {
+	if err := Uniform().validate(1); err == nil {
+		t.Fatalf("Uniform() accepted a 1-station ring")
+	}
+	if err := Uniform().validate(2); err != nil {
+		t.Fatalf("Uniform() rejected a 2-station ring: %v", err)
+	}
+}
+
+// TestUniformNeverSelf: the uniform destination skips the sender and still
+// covers every other station.
+func TestUniformNeverSelf(t *testing.T) {
+	rng := sim.NewRNG(7)
+	const n, self = 6, 2
+	fn := Uniform().fn(self, n, rng)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := int(fn(rng))
+		if d == self {
+			t.Fatalf("uniform destination returned the sender")
+		}
+		if d < 0 || d >= n {
+			t.Fatalf("uniform destination %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != n-1 {
+		t.Fatalf("uniform destination covered %d stations, want %d", len(seen), n-1)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// TestPendingBoundedLongRun drives an idle ring for millions of slots —
+// every SAT rotation cancels and re-arms one SAT_TIMER per station — and
+// asserts the kernel's live-event count stays flat. Before the kernel
+// reaped cancelled events, this grew with simulated time.
+func TestPendingBoundedLongRun(t *testing.T) {
+	slots := sim.Time(2_000_000)
+	if testing.Short() {
+		slots = 200_000
+	}
+	kern, _, ring := buildRing(t, 8, 2, 2, Params{}, 1)
+	const samples = 20
+	var first, worst int
+	for i := 1; i <= samples; i++ {
+		kern.Run(slots / samples * sim.Time(i))
+		p := kern.Pending()
+		if i == 1 {
+			first = p
+		}
+		if p > worst {
+			worst = p
+		}
+	}
+	if ring.Dead() {
+		t.Fatalf("ring died: %s", ring.Metrics.DeathReason)
+	}
+	// The live set is one slot tick, N-1 armed SAT timers, and a handful of
+	// in-flight radio deliveries: far under 256 for N=8 at any horizon.
+	if worst > 256 {
+		t.Fatalf("Pending peaked at %d over %d slots, want bounded (<= 256)", worst, slots)
+	}
+	last := kern.Pending()
+	if last > first+32 {
+		t.Fatalf("Pending grew from %d to %d over the run — cancelled-timer leak", first, last)
+	}
+}

@@ -1,0 +1,153 @@
+// Package runner is the worker-pool batch executor behind every parameter
+// sweep in the repository. The paper's evaluation (§3) is a wide grid of
+// independent simulations — N × (l,k) × protocol × fault configurations —
+// and each of them is a single-threaded, seeded discrete-event run, so the
+// grid is embarrassingly parallel: scheduling scenarios across GOMAXPROCS
+// goroutines changes wall clock, never outcomes.
+//
+// Determinism contract: every job owns its own sim.Kernel and seeded RNG
+// (wrtring.Build creates both from Scenario.Seed), no state is shared
+// between jobs, and results are returned in submission order. Jobs == 1
+// reproduces the serial behaviour byte for byte; any other worker count
+// produces the identical result slice, just faster.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// Job is one scenario in a batch.
+type Job struct {
+	// Name labels the job in outputs and progress reports.
+	Name string
+	// Scenario is the experiment to run.
+	Scenario wrtring.Scenario
+	// Setup, when non-nil, runs on the built network before the simulation
+	// starts — the hook for fault injection (kills, signal losses) and for
+	// attaching joiners, exactly like driving wrtring.Build by hand.
+	Setup func(*wrtring.Network) error
+}
+
+// Result pairs a job with what came out of it. Err captures build errors,
+// Setup errors, and panics out of the simulation, so one broken scenario
+// never aborts the rest of the sweep.
+type Result struct {
+	Job   Job
+	Index int
+	// Net is the built network, kept so callers can inspect protocol state
+	// (tagged probes, per-station metrics, joiners) after the run. Nil when
+	// Err is a build error.
+	Net     *wrtring.Network
+	Res     *wrtring.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Options configures a batch.
+type Options struct {
+	// Jobs is the number of worker goroutines; 0 or negative means
+	// runtime.NumCPU(). Jobs == 1 runs everything serially on the calling
+	// goroutine in submission order.
+	Jobs int
+	// OnProgress, when non-nil, is called once per finished job (from the
+	// goroutine that ran it, serialised by an internal lock) with the
+	// completion count so far.
+	OnProgress func(done, total int, r Result)
+}
+
+// Run executes all jobs and returns their results in submission order.
+func Run(jobs []Job, opts Options) []Result {
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+
+	done := 0
+	var mu sync.Mutex
+	finish := func(r Result) {
+		if opts.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opts.OnProgress(done, len(jobs), r)
+		mu.Unlock()
+	}
+
+	if workers <= 1 {
+		for i := range jobs {
+			out[i] = runOne(jobs[i], i)
+			finish(out[i])
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(jobs[i], i)
+				finish(out[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// RunScenarios is the common single-protocol case: run a slice of bare
+// scenarios and return one result per scenario, in order.
+func RunScenarios(scenarios []wrtring.Scenario, opts Options) []Result {
+	jobs := make([]Job, len(scenarios))
+	for i, s := range scenarios {
+		jobs[i] = Job{Name: fmt.Sprintf("job-%d", i), Scenario: s}
+	}
+	return Run(jobs, opts)
+}
+
+// runOne executes a single job, converting panics out of the protocol stack
+// into per-job errors.
+func runOne(job Job, index int) (r Result) {
+	r = Result{Job: job, Index: index}
+	start := time.Now()
+	defer func() {
+		r.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("runner: job %q panicked: %v", job.Name, p)
+			r.Res = nil
+		}
+	}()
+	net, err := wrtring.Build(job.Scenario)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Net = net
+	if job.Setup != nil {
+		if err := job.Setup(net); err != nil {
+			r.Err = fmt.Errorf("runner: job %q setup: %w", job.Name, err)
+			return r
+		}
+	}
+	r.Res = net.Run()
+	return r
+}

@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// grid is a small fixed-seed N × protocol × seed sweep.
+func grid() []Job {
+	var jobs []Job
+	for _, proto := range []wrtring.Protocol{wrtring.WRTRing, wrtring.TPT} {
+		for _, n := range []int{5, 8, 12} {
+			for _, seed := range []uint64{1, 2} {
+				jobs = append(jobs, Job{
+					Name: fmt.Sprintf("%v/N=%d/seed=%d", proto, n, seed),
+					Scenario: wrtring.Scenario{
+						Protocol: proto, N: n, L: 2, K: 2, Seed: seed, Duration: 4_000,
+						Sources: []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.CBR,
+							Class: wrtring.Premium, Period: 50, Dest: wrtring.Opposite()}},
+					},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// marshal renders a batch the way the CLIs do: name + full result, JSON.
+func marshal(t *testing.T, results []Result) []byte {
+	t.Helper()
+	type row struct {
+		Name   string
+		Result *wrtring.Result
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %q: %v", r.Job.Name, r.Err)
+		}
+		rows[i] = row{Name: r.Job.Name, Result: r.Res}
+	}
+	b, err := json.MarshalIndent(rows, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelMatchesSerialByteForByte is the determinism guarantee: the
+// same fixed-seed grid must serialise identically at -jobs 1 and -jobs 8.
+func TestParallelMatchesSerialByteForByte(t *testing.T) {
+	serial := marshal(t, Run(grid(), Options{Jobs: 1}))
+	parallel := marshal(t, Run(grid(), Options{Jobs: 8}))
+	if string(serial) != string(parallel) {
+		t.Fatalf("jobs=1 and jobs=8 outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestResultsInSubmissionOrder: results come back indexed and ordered as
+// submitted regardless of completion order.
+func TestResultsInSubmissionOrder(t *testing.T) {
+	jobs := grid()
+	results := Run(jobs, Options{Jobs: 4})
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Job.Name != jobs[i].Name {
+			t.Fatalf("result %d is job %q, want %q", i, r.Job.Name, jobs[i].Name)
+		}
+		if r.Res == nil || r.Err != nil {
+			t.Fatalf("job %q failed: %v", r.Job.Name, r.Err)
+		}
+	}
+}
+
+// TestPerJobErrorCapture: a broken scenario yields an error in its slot;
+// the rest of the batch still runs.
+func TestPerJobErrorCapture(t *testing.T) {
+	jobs := []Job{
+		{Name: "ok", Scenario: wrtring.Scenario{N: 6, Duration: 1_000, Seed: 1}},
+		{Name: "bad", Scenario: wrtring.Scenario{N: 2, Duration: 1_000, Seed: 1}}, // N < 3
+		{Name: "ok2", Scenario: wrtring.Scenario{N: 6, Duration: 1_000, Seed: 2}},
+	}
+	results := Run(jobs, Options{Jobs: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatalf("invalid scenario did not report an error")
+	}
+}
+
+// TestSetupHookAndPanicCapture: Setup runs before the simulation; a panic
+// anywhere inside a job becomes that job's error.
+func TestSetupHookAndPanicCapture(t *testing.T) {
+	hooked := false
+	jobs := []Job{
+		{Name: "hooked", Scenario: wrtring.Scenario{N: 6, Duration: 1_000, Seed: 1},
+			Setup: func(n *wrtring.Network) error { hooked = n.Ring != nil; return nil }},
+		{Name: "seterr", Scenario: wrtring.Scenario{N: 6, Duration: 1_000, Seed: 1},
+			Setup: func(*wrtring.Network) error { return errors.New("no thanks") }},
+		{Name: "panics", Scenario: wrtring.Scenario{N: 6, Duration: 1_000, Seed: 1},
+			Setup: func(*wrtring.Network) error { panic("boom") }},
+	}
+	results := Run(jobs, Options{Jobs: 1})
+	if !hooked {
+		t.Fatalf("Setup hook did not run on the built network")
+	}
+	if results[0].Err != nil {
+		t.Fatalf("hooked job failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatalf("setup error / panic not captured: %v / %v", results[1].Err, results[2].Err)
+	}
+}
+
+// TestProgressCallback: called once per job with a strictly increasing
+// done count reaching the total.
+func TestProgressCallback(t *testing.T) {
+	jobs := grid()[:6]
+	var calls int32
+	last := 0
+	results := Run(jobs, Options{Jobs: 3, OnProgress: func(done, total int, r Result) {
+		atomic.AddInt32(&calls, 1)
+		if done != last+1 || total != len(jobs) {
+			t.Errorf("progress (%d,%d) after (%d,%d)", done, total, last, len(jobs))
+		}
+		last = done
+	}})
+	if int(calls) != len(jobs) {
+		t.Fatalf("progress called %d times, want %d", calls, len(jobs))
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+}

@@ -32,7 +32,9 @@ const (
 	PrioStats   Priority = 100 // sampling and bookkeeping
 )
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Event structs are recycled through the
+// kernel's free list; gen disambiguates a recycled struct from the
+// incarnation an old Handle still points at.
 type event struct {
 	at   Time
 	prio Priority
@@ -40,22 +42,38 @@ type event struct {
 	fn   func()
 	dead bool
 	idx  int
+	gen  uint64
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	k   *Kernel
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op, as is cancelling after the underlying
+// struct was recycled for a newer event.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.dead || ev.idx < 0 {
+		return
+	}
+	ev.dead = true
+	ev.fn = nil
+	if h.k != nil {
+		h.k.dead++
+		h.k.maybeReap()
 	}
 }
 
 // Scheduled reports whether the handle refers to an event that has neither
 // fired nor been cancelled.
-func (h Handle) Scheduled() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead && h.ev.idx >= 0
+}
 
 type eventQueue []*event
 
@@ -99,6 +117,15 @@ type Kernel struct {
 	// event was scheduled with ScheduleNamed.
 	Trace func(t Time, name string)
 	fired uint64
+
+	// dead counts cancelled events still sitting in the queue. They are
+	// reaped lazily when they surface at the top of the heap and eagerly
+	// (in one O(n) pass) once they outnumber the live events — without
+	// this, periodically re-armed timers (SAT_TIMER cancels and reschedules
+	// once per rotation) accumulate garbage linearly with simulated time.
+	dead int
+	// free recycles event structs so steady-state runs stop allocating.
+	free []*event
 }
 
 // NewKernel returns an empty kernel at time 0.
@@ -113,9 +140,8 @@ func (k *Kernel) Now() Time { return k.now }
 // runaway detection).
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet reaped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live (non-cancelled) events still queued.
+func (k *Kernel) Pending() int { return len(k.queue) - k.dead }
 
 // At schedules fn at an absolute time with the given priority.
 // Scheduling in the past panics: it always indicates a protocol bug.
@@ -123,10 +149,60 @@ func (k *Kernel) At(t Time, prio Priority, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
 	}
-	ev := &event{at: t, prio: prio, seq: k.seq, fn: fn}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		ev.at, ev.prio, ev.seq, ev.fn = t, prio, k.seq, fn
+	} else {
+		ev = &event{at: t, prio: prio, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	heap.Push(&k.queue, ev)
-	return Handle{ev}
+	return Handle{k: k, ev: ev, gen: ev.gen}
+}
+
+// recycle retires an event struct that left the queue (fired or reaped) to
+// the free list. Bumping gen invalidates every outstanding Handle to the
+// old incarnation, so a stale Cancel can never kill or double-count the
+// event that later reuses the struct.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	ev.dead = false
+	ev.idx = -1
+	ev.gen++
+	k.free = append(k.free, ev)
+}
+
+// maybeReap triggers the eager O(n) sweep once cancelled events outnumber
+// live ones (and there are enough of them for the pass to pay off).
+func (k *Kernel) maybeReap() {
+	if k.dead > 16 && k.dead*2 > len(k.queue) {
+		k.reap()
+	}
+}
+
+// reap removes every cancelled event from the queue in one pass and
+// restores the heap invariant.
+func (k *Kernel) reap() {
+	live := k.queue[:0]
+	for _, ev := range k.queue {
+		if ev.dead {
+			k.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = live
+	for i, ev := range k.queue {
+		ev.idx = i
+	}
+	heap.Init(&k.queue)
+	k.dead = 0
 }
 
 // After schedules fn delay slots from now.
@@ -158,6 +234,8 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		ev := heap.Pop(&k.queue).(*event)
 		if ev.dead {
+			k.dead--
+			k.recycle(ev)
 			continue
 		}
 		if ev.at < k.now {
@@ -165,7 +243,9 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = ev.at
 		k.fired++
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -209,6 +289,8 @@ func (k *Kernel) peek() *event {
 		ev := k.queue[0]
 		if ev.dead {
 			heap.Pop(&k.queue)
+			k.dead--
+			k.recycle(ev)
 			continue
 		}
 		return ev

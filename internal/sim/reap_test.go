@@ -1,0 +1,185 @@
+package sim
+
+import "testing"
+
+// TestPendingCountsLiveOnly: Pending must report live events, not cancelled
+// garbage awaiting reaping.
+func TestPendingCountsLiveOnly(t *testing.T) {
+	k := NewKernel()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, k.At(Time(100+i), PrioTimer, func() {}))
+	}
+	if got := k.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for _, h := range hs[:4] {
+		h.Cancel()
+	}
+	if got := k.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	// Double-cancel must not double-count.
+	hs[0].Cancel()
+	if got := k.Pending(); got != 6 {
+		t.Fatalf("Pending after double cancel = %d, want 6", got)
+	}
+	k.RunAll()
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+	if k.Fired() != 6 {
+		t.Fatalf("fired %d events, want 6", k.Fired())
+	}
+}
+
+// TestEagerReapBoundsQueue: once cancelled events outnumber live ones the
+// queue is compacted in place, so the heap's physical size stays bounded
+// even when no simulated time passes between cancel/re-arm cycles.
+func TestEagerReapBoundsQueue(t *testing.T) {
+	k := NewKernel()
+	// One live anchor plus a re-armed timer, like a SAT_TIMER: cancel the
+	// previous incarnation and schedule a fresh one, thousands of times.
+	k.At(1_000_000, PrioStats, func() {})
+	var timer Handle
+	for i := 0; i < 10_000; i++ {
+		timer.Cancel()
+		timer = k.At(Time(500_000+i), PrioTimer, func() {})
+	}
+	if got := k.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2 (anchor + current timer)", got)
+	}
+	if n := len(k.queue); n > 64 {
+		t.Fatalf("heap holds %d entries after 10k cancel/re-arm cycles, want bounded (<= 64)", n)
+	}
+}
+
+// TestLazyReapAtTop: a cancelled event that surfaces at the head of the
+// queue is discarded without firing and without advancing time past it
+// incorrectly.
+func TestLazyReapAtTop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	h := k.At(10, PrioSlot, func() { fired++ })
+	k.At(20, PrioSlot, func() { fired++ })
+	h.Cancel()
+	k.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("now = %d, want 20", k.Now())
+	}
+}
+
+// TestFreeListReuse: steady-state schedule/fire cycles must recycle event
+// structs instead of allocating a fresh one per event.
+func TestFreeListReuse(t *testing.T) {
+	k := NewKernel()
+	k.After(1, PrioSlot, func() {})
+	k.Step()
+	if len(k.free) != 1 {
+		t.Fatalf("free list has %d entries after one fire, want 1", len(k.free))
+	}
+	recycled := k.free[0]
+	h := k.After(1, PrioSlot, func() {})
+	if h.ev != recycled {
+		t.Fatalf("schedule did not reuse the recycled event struct")
+	}
+	if len(k.free) != 0 {
+		t.Fatalf("free list has %d entries after reuse, want 0", len(k.free))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.After(1, PrioSlot, func() {})
+		k.Step()
+	})
+	// One closure allocation per iteration is inherent to the test itself;
+	// the event struct must not add another.
+	if allocs > 1.1 {
+		t.Fatalf("schedule/fire allocates %.2f objects per cycle, want <= 1 (closure only)", allocs)
+	}
+}
+
+// TestStaleHandleCannotKillRecycledEvent: a Handle kept across its event's
+// firing must become inert — Cancel on it must not kill, and Scheduled must
+// not report, the unrelated event that later reuses the same struct.
+func TestStaleHandleCannotKillRecycledEvent(t *testing.T) {
+	k := NewKernel()
+	h1 := k.After(1, PrioSlot, func() {})
+	k.Step() // h1 fired; its struct is on the free list
+	if h1.Scheduled() {
+		t.Fatalf("fired event still reports Scheduled")
+	}
+	fired := false
+	h2 := k.After(1, PrioSlot, func() { fired = true })
+	if h2.ev != h1.ev {
+		t.Fatalf("test premise broken: struct not recycled")
+	}
+	h1.Cancel() // stale: must be a no-op
+	if h1.Scheduled() {
+		t.Fatalf("stale handle reports Scheduled")
+	}
+	if !h2.Scheduled() {
+		t.Fatalf("live event killed by a stale handle")
+	}
+	k.Step()
+	if !fired {
+		t.Fatalf("recycled event did not fire")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", k.Pending())
+	}
+}
+
+// TestNoDoubleFireAfterRecycle: cancelling a recycled event through its
+// *current* handle still works, and the event fires at most once overall.
+func TestNoDoubleFireAfterRecycle(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	h1 := k.After(1, PrioSlot, func() { count++ })
+	k.Step()
+	h2 := k.After(1, PrioSlot, func() { count++ })
+	if h2.ev != h1.ev {
+		t.Fatalf("test premise broken: struct not recycled")
+	}
+	h2.Cancel()
+	k.RunAll()
+	if count != 1 {
+		t.Fatalf("events fired %d times, want 1", count)
+	}
+}
+
+// TestCancelledTimerChurnStaysBounded emulates the SAT_TIMER pattern over a
+// long horizon: every "rotation" cancels the previous timeout and arms a new
+// one. Pending and the physical heap must stay O(1) in simulated time.
+func TestCancelledTimerChurnStaysBounded(t *testing.T) {
+	k := NewKernel()
+	const rotations = 200_000
+	var timer Handle
+	var rotate func()
+	n := 0
+	rotate = func() {
+		timer.Cancel()
+		timer = k.After(1000, PrioTimer, func() { t.Fatalf("dead timer fired") })
+		n++
+		if n < rotations {
+			k.After(10, PrioSlot, rotate)
+		} else {
+			timer.Cancel()
+		}
+	}
+	k.After(10, PrioSlot, rotate)
+	k.RunAll()
+	if n != rotations {
+		t.Fatalf("ran %d rotations, want %d", n, rotations)
+	}
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", got)
+	}
+	if len(k.queue) != 0 {
+		t.Fatalf("heap holds %d entries after drain, want 0", len(k.queue))
+	}
+	if len(k.free) > 64 {
+		t.Fatalf("free list grew to %d entries, want bounded (<= 64)", len(k.free))
+	}
+}

@@ -36,9 +36,11 @@ func UniformDest(ids ...core.StationID) DestFn {
 
 // RingOffsetDest returns the station offset positions further around a ring
 // of n stations with contiguous IDs starting at 0 — "neighbour" (offset 1)
-// and "opposite" (offset n/2) workloads from the evaluation.
+// and "opposite" (offset n/2) workloads from the evaluation. Negative
+// offsets address upstream stations (Go's % keeps the dividend's sign, so
+// the result is re-normalised into [0, n)).
 func RingOffsetDest(self core.StationID, n, offset int) DestFn {
-	d := core.StationID((int(self) + offset) % n)
+	d := core.StationID((((int(self) + offset) % n) + n) % n)
 	return func(*sim.RNG) core.StationID { return d }
 }
 

@@ -2,15 +2,18 @@
 // and aggregates their results deterministically. Every simulation is
 // single-threaded and seeded, so running them in parallel changes wall
 // clock, never outcomes — the property the tests in this package assert.
+//
+// The execution itself is delegated to internal/runner, the repository's
+// shared batch executor; this package adds the sweep-building combinators
+// (OverN, OverSeeds, ...) and the CSV/aggregation layer on top.
 package sweep
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/runner"
 )
 
 // Point is one named scenario in a sweep.
@@ -27,36 +30,30 @@ type Outcome struct {
 }
 
 // Run executes all points with the given parallelism (0 or negative means
-// GOMAXPROCS) and returns outcomes in input order.
+// one worker per CPU) and returns outcomes in input order.
 func Run(points []Point, workers int) []Outcome {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return RunProgress(points, workers, nil)
+}
+
+// RunProgress is Run with a per-completion callback: onDone (when non-nil)
+// fires once per finished point, in completion order, with the running
+// count. Used by the CLIs for live sweep progress on stderr.
+func RunProgress(points []Point, workers int, onDone func(done, total int, o Outcome)) []Outcome {
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		jobs[i] = runner.Job{Name: p.Name, Scenario: p.Scenario}
 	}
-	if workers > len(points) {
-		workers = len(points)
+	opts := runner.Options{Jobs: workers}
+	if onDone != nil {
+		opts.OnProgress = func(done, total int, r runner.Result) {
+			onDone(done, total, Outcome{Point: points[r.Index], Result: r.Res, Err: r.Err})
+		}
 	}
+	rs := runner.Run(jobs, opts)
 	out := make([]Outcome, len(points))
-	if len(points) == 0 {
-		return out
+	for i, r := range rs {
+		out[i] = Outcome{Point: points[i], Result: r.Res, Err: r.Err}
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				p := points[i]
-				res, err := wrtring.Run(p.Scenario)
-				out[i] = Outcome{Point: p, Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range points {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 	return out
 }
 

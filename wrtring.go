@@ -99,29 +99,55 @@ const AllStations = -1
 // DestSpec picks packet destinations declaratively so scenarios stay
 // serialisable and deterministic.
 type DestSpec struct {
-	kind int // 0 offset, 1 fixed, 2 uniform-all
+	kind int // destOffset, destFixed, destUniform, destOpposite
 	arg  int
 }
 
+const (
+	destOffset = iota
+	destFixed
+	destUniform
+	// destOpposite is its own kind rather than an offset sentinel:
+	// encoding Opposite() as Offset(-1) used to hijack the legitimate
+	// "upstream neighbour" workload.
+	destOpposite
+)
+
 // Offset addresses the station arg positions further around the ring
-// (Offset(1) = downstream neighbour).
-func Offset(arg int) DestSpec { return DestSpec{kind: 0, arg: arg} }
+// (Offset(1) = downstream neighbour, Offset(-1) = upstream neighbour).
+func Offset(arg int) DestSpec { return DestSpec{kind: destOffset, arg: arg} }
 
 // Opposite addresses the station halfway around the ring — the paper's
 // worst-distance workload.
-func Opposite() DestSpec { return DestSpec{kind: 0, arg: -1} }
+func Opposite() DestSpec { return DestSpec{kind: destOpposite} }
 
 // Fixed addresses one station.
-func Fixed(id int) DestSpec { return DestSpec{kind: 1, arg: id} }
+func Fixed(id int) DestSpec { return DestSpec{kind: destFixed, arg: id} }
 
 // Uniform addresses a uniformly random other station per packet.
-func Uniform() DestSpec { return DestSpec{kind: 2} }
+func Uniform() DestSpec { return DestSpec{kind: destUniform} }
+
+// validate rejects destinations that cannot address a ring of n stations,
+// so a bad scenario fails at Build time instead of panicking mid-run.
+func (d DestSpec) validate(n int) error {
+	switch d.kind {
+	case destFixed:
+		if d.arg < 0 || d.arg >= n {
+			return fmt.Errorf("wrtring: Fixed(%d) destination out of range for %d stations", d.arg, n)
+		}
+	case destUniform:
+		if n < 2 {
+			return fmt.Errorf("wrtring: Uniform() destination needs at least 2 stations, have %d", n)
+		}
+	}
+	return nil
+}
 
 func (d DestSpec) fn(self, n int, rng *sim.RNG) traffic.DestFn {
 	switch d.kind {
-	case 1:
+	case destFixed:
 		return traffic.FixedDest(core.StationID(d.arg))
-	case 2:
+	case destUniform:
 		return func(r *sim.RNG) core.StationID {
 			t := r.Intn(n - 1)
 			if t >= self {
@@ -129,12 +155,10 @@ func (d DestSpec) fn(self, n int, rng *sim.RNG) traffic.DestFn {
 			}
 			return core.StationID(t)
 		}
+	case destOpposite:
+		return traffic.RingOffsetDest(core.StationID(self), n, n/2)
 	default:
-		off := d.arg
-		if off == -1 {
-			off = n / 2
-		}
-		return traffic.RingOffsetDest(core.StationID(self), n, off)
+		return traffic.RingOffsetDest(core.StationID(self), n, d.arg)
 	}
 }
 
@@ -416,6 +440,9 @@ func (n *Network) attach(src Source) error {
 		for i := 0; i < n.Scenario.N; i++ {
 			stations = append(stations, i)
 		}
+	}
+	if err := src.Dest.validate(n.Scenario.N); err != nil {
+		return err
 	}
 	for _, i := range stations {
 		if i < 0 || i >= n.Scenario.N {
