@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench cover examples experiments clean
+.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments clean
 
 all: build vet test
 
@@ -26,6 +26,16 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-baseline records the current machine's numbers as the regression
+# reference; bench-check re-runs the suite and fails if any benchmark is
+# more than BENCH_MAX_REGRESSION_PCT (default 10) percent slower.
+bench-baseline:
+	scripts/bench.sh benchmarks/baseline.txt
+
+bench-check:
+	scripts/bench.sh benchmarks/latest.txt
+	scripts/bench-compare.sh benchmarks/baseline.txt benchmarks/latest.txt
 
 cover:
 	$(GO) test -cover ./...

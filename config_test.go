@@ -23,6 +23,12 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 			{At: 300, Kind: Join, Station: 1, Quota: Quota{L: 1, K1: 1}},
 			{At: 400, Kind: LoseSignal},
 		},
+		Fault: &FaultSpec{
+			Loss:      &LossSpec{Mean: 0.01, BurstLen: 50, PerCode: true},
+			Crashes:   []CrashOp{{At: 500, Station: 1, For: 200}},
+			JoinEvery: 1500, LeaveEvery: 3000, ChurnStart: 100, ChurnStop: 9000,
+			MinMembers: 5, ChurnQuota: Quota{L: 2, K1: 1},
+		},
 		Mobility: &Mobility{Speed: 0.01, PauseMin: 10, PauseMax: 20, StepEvery: 50},
 		Trace:    true,
 	}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+	"github.com/rtnet/wrtring/internal/trace"
+)
+
+// This file is the always-on recovery invariant checker: a per-slot audit
+// that the ring the protocol *believes* in matches the ring that physically
+// exists. It encodes the §2.5 health conditions —
+//
+//   - exactly one SAT circulates (held by a member or in flight);
+//   - the cyclic order contains no phantoms: every member is active, has a
+//     powered radio, and its succ/pred pointers agree with the order;
+//   - the SAT revisits every member within the Theorem-1 SAT_TIME bound.
+//
+// Legitimate recovery transients look exactly like violations (a crashed
+// member lingers in the order until the splice cuts it out; zero SATs
+// circulate between a loss and its detection), so every disruptive event
+// notes a "disturbance" and the checker stays quiet for a settle window long
+// enough for the §2.5 machinery to finish: detection (≤ SAT_TIME) plus the
+// recovery round trip (≤ SAT_TIME) plus the worst re-formation downtime and
+// a RAP. A violation therefore means the recovery machinery itself failed —
+// the checker records it (see RingMetrics) and tests fail loudly on any.
+
+// InvariantViolation is one failed ring-health check.
+type InvariantViolation struct {
+	At     sim.Time
+	Check  string // "sat-count", "sat-lost", "sat-overdue", "phantom-member", ...
+	Detail string
+}
+
+func (v InvariantViolation) String() string {
+	return fmt.Sprintf("t=%d %s: %s", int64(v.At), v.Check, v.Detail)
+}
+
+// maxStoredViolations caps the retained violation records; the total count
+// keeps increasing past the cap (a broken ring violates every slot).
+const maxStoredViolations = 64
+
+// NoteDisturbance marks the current slot as topology-disruptive (kill,
+// leave, join, recovery, injected loss of a control frame). The invariant
+// checker suppresses its verdicts for a settle window after the latest
+// disturbance, so it never flags the recovery machinery while it is
+// legitimately mid-flight.
+func (r *Ring) NoteDisturbance() {
+	if now := r.kernel.Now(); now > r.lastDisturb {
+		r.lastDisturb = now
+	}
+}
+
+// settleWindow is how long after a disturbance the ring must be given to
+// heal before invariants are enforced: detection plus the recovery round
+// trip (one SAT_TIME each), the worst-case re-formation downtime, and a RAP.
+func (r *Ring) settleWindow() sim.Time {
+	return sim.Time(2*r.satTime + r.params.TRap() +
+		r.params.ReformationSlotsPerStation*int64(len(r.order)+1))
+}
+
+// startInvariantChecker registers the per-slot audit. With recovery disabled
+// the invariants cannot hold (a lost SAT stays lost by design), so the
+// checker only runs when the §2.5 machinery is armed.
+func (r *Ring) startInvariantChecker() {
+	if r.params.DisableRecovery || r.params.DisableInvariantChecks {
+		return
+	}
+	r.invSatSeenAt = r.kernel.Now()
+	r.kernel.EverySlot(r.kernel.Now(), sim.PrioStats, func(t sim.Time) bool {
+		if r.dead {
+			return false
+		}
+		r.checkInvariants(t)
+		return true
+	})
+}
+
+// checkInvariants runs at PrioStats, after every station ticked and every
+// same-slot timer fired — so a SAT_TIMER detection in this very slot has
+// already noted its disturbance and suppresses the audit.
+func (r *Ring) checkInvariants(now sim.Time) {
+	// Count circulating SATs: held by a member, or in flight on the medium
+	// (transmitted this slot, delivered at the next slot boundary). This runs
+	// every slot — even while unsettled — to keep the last-seen mark fresh.
+	sats := 0
+	for _, st := range r.tickOrder {
+		if st.active && st.hasSAT {
+			sats++
+		}
+	}
+	r.medium.ScanPending(func(from radio.NodeID, code radio.Code, f radio.Frame) {
+		if rf, ok := f.(*RingFrame); ok && rf.Sat != nil {
+			sats++
+		}
+	})
+	if sats > 0 {
+		r.invSatSeenAt = now
+	}
+
+	// Verdicts are suppressed while a disturbance settles, the network is
+	// paused (RAP / re-formation), or any station is visibly mid-recovery,
+	// mid-leave or mid-RAP. A periodic RAP that admits nobody is normal
+	// operation — the Theorem-1 bound already budgets one T_rap per rotation
+	// — so the pause only mutes the audit while it lasts; it does not reset
+	// the settle window (a RAP that does change the ring notes its own
+	// disturbance in completeJoin).
+	disturb := r.lastDisturb
+	if now < disturb+r.settleWindow() || r.paused(now) {
+		return
+	}
+	for _, st := range r.tickOrder {
+		if st.recOutstanding != nil || st.pendingRec != nil || st.replaceWithRec != nil ||
+			st.pendingLeave != nil || st.wantLeave || st.inRAP || st.pendingRecDelay > 0 {
+			return
+		}
+	}
+	r.Metrics.InvariantChecks++
+
+	// (a) Exactly one SAT. More than one is an immediate protocol failure;
+	// zero is only a failure once it persists beyond the detection bound —
+	// a fresh loss is legitimate until SAT_TIMERs have had SAT_TIME to react.
+	if sats > 1 {
+		r.violate(now, "sat-count", fmt.Sprintf("%d SATs circulating", sats))
+	}
+	if sats == 0 && now-r.invSatSeenAt > sim.Time(r.satTime) {
+		r.violate(now, "sat-lost", fmt.Sprintf(
+			"no SAT circulating for %d slots and no timer reacted (SAT_TIME=%d)",
+			int64(now-r.invSatSeenAt), r.satTime))
+	}
+
+	// (b) No phantom ring members: the cyclic order, the station states and
+	// the radio layer must agree.
+	n := len(r.order)
+	for i, id := range r.order {
+		for j := i + 1; j < n; j++ {
+			if r.order[j] == id {
+				r.violate(now, "duplicate-member",
+					fmt.Sprintf("station %d appears twice in the cyclic order", id))
+			}
+		}
+		st := r.stations[id]
+		if st == nil || !st.active {
+			r.violate(now, "phantom-member",
+				fmt.Sprintf("cyclic order lists non-operating station %d", id))
+			continue
+		}
+		if !r.medium.Alive(st.Node) {
+			r.violate(now, "dead-radio",
+				fmt.Sprintf("active member %d has a powered-off radio", id))
+		}
+		succ, pred := r.order[(i+1)%n], r.order[(i+n-1)%n]
+		if st.succ != succ || st.pred != pred {
+			r.violate(now, "order-mismatch", fmt.Sprintf(
+				"station %d has succ=%d pred=%d but the order says succ=%d pred=%d",
+				id, st.succ, st.pred, succ, pred))
+		}
+	}
+	for _, st := range r.tickOrder {
+		if st.active && !r.inOrder(st.ID) {
+			r.violate(now, "orphan-active",
+				fmt.Sprintf("active station %d is not in the cyclic order", st.ID))
+		}
+	}
+
+	// (c) Rotation freshness: every non-holding member must have seen the
+	// SAT within SAT_TIME (Theorem 1). The member's own SAT_TIMER fires at
+	// PrioTimer — before this PrioStats audit in the same slot — and notes a
+	// disturbance, so a working timer always pre-empts this check; tripping
+	// it means the timer was disarmed or armed with a stale bound.
+	for _, id := range r.order {
+		st := r.stations[id]
+		if st == nil || !st.active || st.hasSAT {
+			continue
+		}
+		ref := st.lastSATArrival
+		if st.lastSATDeparture > ref {
+			ref = st.lastSATDeparture
+		}
+		if disturb > ref {
+			ref = disturb
+		}
+		if now-ref > sim.Time(r.satTime) {
+			r.violate(now, "sat-overdue", fmt.Sprintf(
+				"station %d last saw the SAT %d slots ago (SAT_TIME=%d) and its timer did not react",
+				id, int64(now-ref), r.satTime))
+		}
+	}
+}
+
+func (r *Ring) violate(now sim.Time, check, detail string) {
+	r.Metrics.InvariantViolationTotal++
+	if len(r.Metrics.InvariantViolations) < maxStoredViolations {
+		r.Metrics.InvariantViolations = append(r.Metrics.InvariantViolations,
+			InvariantViolation{At: now, Check: check, Detail: detail})
+	}
+	r.Journal.Record(int64(now), trace.Invariant, 0, 0, check+": "+detail)
+}

@@ -123,6 +123,12 @@ func (r *Ring) admit(req JoinReqFrame) bool {
 	if r.params.AdmitMaxSumLK > 0 && r.activeSumLK()+int64(req.L+req.K) > r.params.AdmitMaxSumLK {
 		return false
 	}
+	if r.inOrder(req.Addr) {
+		// Still in the cyclic order: a crashed station that restarted before
+		// the splice cut it out. Admitting it now would list the ID twice in
+		// the order; it must wait for the recovery to finish.
+		return false
+	}
 	if st, exists := r.stations[req.Addr]; exists && st.active {
 		return false // the ID is in use; exiled stations may reclaim theirs
 	}
@@ -178,6 +184,7 @@ func (r *Ring) completeJoin(ingress *Station, req JoinReqFrame, now sim.Time) {
 	r.updateAnchor()
 	r.recomputeSatTime()
 	r.resetRotationBaselines()
+	r.NoteDisturbance()
 
 	if !r.params.DisableRecovery {
 		st.armSATTimer(now)
@@ -292,8 +299,17 @@ func (j *Joiner) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID
 		j.ackWait.Cancel()
 		if f.Accept {
 			// Ring membership is finalised by the ingress station at the
-			// end of the update phase (completeJoin); nothing to do but
-			// wait for it.
+			// end of the update phase (completeJoin). The acceptance is
+			// void if the ingress crashes or is exiled before then, so
+			// fall back to listening if membership does not materialise
+			// within the update phase (plus delivery slack) — without
+			// this, a joiner whose ingress died mid-RAP waits forever.
+			wait := sim.Time(j.ring.params.TUpdate + 8)
+			j.ackWait = j.ring.kernel.After(wait, sim.PrioAdmin, func() {
+				if j.state == joinerRequested {
+					j.state = joinerListening
+				}
+			})
 			return
 		}
 		j.state = joinerListening
@@ -345,3 +361,7 @@ func (j *Joiner) onNextFree(f NextFreeFrame) {
 		}
 	})
 }
+
+// WaitingJoiner returns the registered (not yet admitted) joiner for id, or
+// nil. Scenario-level code uses it to inspect rejoin progress.
+func (r *Ring) WaitingJoiner(id StationID) *Joiner { return r.joiners[id] }

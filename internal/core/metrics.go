@@ -89,6 +89,7 @@ type RingMetrics struct {
 	QuotaRedistributions int64
 
 	Kills             int64
+	Restarts          int64
 	Exiles            int64
 	Rejoins           int64
 	Detections        int64
@@ -103,6 +104,13 @@ type RingMetrics struct {
 
 	RecoveryEvents []RecoveryEvent
 	JoinEvents     []JoinEvent
+
+	// InvariantChecks counts settled audits by the recovery invariant
+	// checker; InvariantViolationTotal counts every failed check and
+	// InvariantViolations retains the first maxStoredViolations of them.
+	InvariantChecks         int64
+	InvariantViolationTotal int64
+	InvariantViolations     []InvariantViolation
 
 	Dead        bool
 	DeathReason string

@@ -106,6 +106,12 @@ type Params struct {
 	// makes WRT-Ring react like TPT's tree rebuild).
 	DisableSplice bool
 
+	// DisableInvariantChecks turns the per-slot recovery invariant audit
+	// off (see invariant.go). The audit is on by default whenever recovery
+	// is enabled; tests that deliberately construct pathological states can
+	// opt out.
+	DisableInvariantChecks bool
+
 	// ReformationSlotsPerStation models the cost of building a new ring
 	// (broadcast flooding + code redistribution) when the splice fails:
 	// downtime = ReformationSlotsPerStation × N. Default 4.

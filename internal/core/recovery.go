@@ -19,6 +19,7 @@ func (s *Station) Leave() {
 	if !s.active {
 		return
 	}
+	s.ring.NoteDisturbance()
 	if s.hasSAT {
 		s.wantLeave = true
 		return
@@ -33,6 +34,7 @@ func (s *Station) Leave() {
 // SAT it receives.
 func (s *Station) handleLeave(l *LeaveInfo) {
 	s.Metrics.LeavesObserved++
+	s.ring.NoteDisturbance()
 	s.replaceWithRec = l
 	// If the SAT never arrives (it was upstream of the leaver and died with
 	// it), the normal SAT_TIMER path takes over.
@@ -52,6 +54,7 @@ func (s *Station) onSATTimeout(now sim.Time) {
 		return // already recovering
 	}
 	s.ring.Metrics.Detections++
+	s.ring.NoteDisturbance()
 	s.ring.Journal.Record(int64(now), trace.SATLost, int64(s.ID), int64(now-s.lastSATArrival), "")
 	if s.ring.satLostAt >= 0 {
 		s.ring.Metrics.DetectLatency.Add(float64(now - s.ring.satLostAt))
@@ -70,6 +73,7 @@ func (s *Station) onSATTimeout(now sim.Time) {
 // station; s (its ring successor) is the splice target (§2.5).
 func (s *Station) startRecovery(failed StationID, now sim.Time) {
 	rec := &SatRecInfo{Origin: s.ID, Failed: failed, FailedNext: s.ID, DetectedAt: int64(now)}
+	s.ring.NoteDisturbance()
 	s.ring.Journal.Record(int64(now), trace.RecStart, int64(s.ID), int64(failed), "")
 	s.recOutstanding = rec
 	s.recDetectedAt = now
@@ -161,6 +165,7 @@ func (s *Station) handleSatRec(rec *SatRecInfo, now sim.Time) {
 func (s *Station) completeRecovery(rec *SatRecInfo, now sim.Time) {
 	s.recOutstanding = nil
 	s.recDeadline.Cancel()
+	s.ring.NoteDisturbance()
 	s.ring.Metrics.Splices++
 	s.ring.Metrics.HealLatency.Add(float64(now - s.recDetectedAt))
 	s.ring.Journal.Record(int64(now), trace.RecHeal, int64(s.ID), int64(now-s.recDetectedAt), "")

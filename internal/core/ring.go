@@ -45,6 +45,11 @@ type Ring struct {
 	dropNextSAT bool
 	satLostAt   sim.Time
 
+	// Invariant-checker state: the last topology-disruptive slot and the
+	// last slot a circulating SAT was observed (see invariant.go).
+	lastDisturb  sim.Time
+	invSatSeenAt sim.Time
+
 	// OnDeliver, when set, observes every delivered packet.
 	OnDeliver func(Packet, sim.Time)
 
@@ -92,6 +97,19 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 	if r.params.ReformationSlotsPerStation <= 0 {
 		r.params.ReformationSlotsPerStation = 4
 	}
+	// A control frame destroyed by the medium (uniform loss or the fault
+	// layer) disturbs the ring exactly like a scripted SAT loss: the
+	// invariant checker must wait out the recovery it triggers. Data-frame
+	// losses do not unsettle anything. Chain any hook already installed.
+	prevDrop := m.OnDrop
+	m.OnDrop = func(from, to radio.NodeID, code radio.Code, f radio.Frame) {
+		if prevDrop != nil {
+			prevDrop(from, to, code, f)
+		}
+		if c, ok := f.(radio.IsControl); ok && c.Control() {
+			r.NoteDisturbance()
+		}
+	}
 	n := len(members)
 	for i, mb := range members {
 		st := &Station{
@@ -130,6 +148,8 @@ func (r *Ring) Start() {
 		return
 	}
 	r.started = true
+	r.NoteDisturbance()
+	r.startInvariantChecker()
 	first := r.stations[r.order[0]]
 	first.hasSAT = true
 	first.sat = &SatInfo{}
@@ -247,7 +267,33 @@ func (r *Ring) updateAnchor() {
 // topology-change messages; recomputing it centrally on membership change
 // is equivalent and keeps the protocol code focused.
 func (r *Ring) recomputeSatTime() {
+	old := r.satTime
 	r.satTime = analysis.SatTimeBound(r.RingParams()) + r.params.SatTimeMargin
+	if r.satTime != old {
+		r.rearmSATTimers(r.kernel.Now())
+	}
+}
+
+// rearmSATTimers restarts every armed SAT_TIMER with the current SAT_TIME
+// bound. Without this, a membership change that grows the bound (a join, a
+// quota increase) leaves survivors with timers armed under the old, smaller
+// SAT_TIME: the very next rotation legitimately runs longer than that stale
+// bound and the timers emit spurious SAT_RECs, cutting healthy stations out
+// of the ring. In a deployment the new bound rides inside the SAT and the
+// topology-change messages; refreshing every armed timer centrally on the
+// slot the bound changes is the equivalent idealisation. Re-arming from
+// "now" is sound in both directions: the deadline now+SAT_TIME is never
+// earlier than the rotation's true completion bound, and never later than
+// one full SAT_TIME from the change.
+func (r *Ring) rearmSATTimers(now sim.Time) {
+	if r.params.DisableRecovery {
+		return
+	}
+	for _, st := range r.tickOrder {
+		if st.active && !st.hasSAT && st.satTimer.Scheduled() {
+			st.armSATTimer(now)
+		}
+	}
 }
 
 // resetRotationBaselines clears every station's "previous SAT arrival"
@@ -278,9 +324,18 @@ func (r *Ring) removeFromOrder(id StationID) {
 		break
 	}
 	if st, ok := r.stations[id]; ok && st.active {
-		st.active = false
-		st.satTimer.Cancel()
-		st.recDeadline.Cancel()
+		if r.medium.Alive(st.Node) {
+			// The station is healthy but was cut out (a splice around a pure
+			// SAT loss whose CutInfo notification was itself lost): exile it
+			// so the AutoRejoin path still runs. exile re-enters this
+			// function, which is then a no-op — the order entry is already
+			// gone and active is already false.
+			st.exile()
+		} else {
+			st.active = false
+			st.satTimer.Cancel()
+			st.recDeadline.Cancel()
+		}
 	}
 	r.updateAnchor()
 }
@@ -336,6 +391,33 @@ func (r *Ring) KillStation(id StationID) {
 	st.recDeadline.Cancel()
 	r.medium.SetAlive(st.Node, false)
 	r.Metrics.Kills++
+	r.NoteDisturbance()
+}
+
+// RestartStation powers a previously crashed station back on. Its old ring
+// position is gone — the survivors spliced around it — so it cannot simply
+// resume: with RAP enabled it re-enters as a newcomer through the next join
+// window (§2.4.1), reclaiming its identity, code and quota. Without RAP the
+// radio comes back up but the station stays outside the ring.
+func (r *Ring) RestartStation(id StationID) {
+	st, ok := r.stations[id]
+	if !ok || st.active || r.dead {
+		return
+	}
+	if r.medium.Alive(st.Node) {
+		return // exiled, not crashed: AutoRejoin handles that path
+	}
+	r.medium.SetAlive(st.Node, true)
+	r.Metrics.Restarts++
+	r.NoteDisturbance()
+	r.Journal.Record(int64(r.kernel.Now()), trace.Restart, int64(id), 0, "")
+	if !r.params.EnableRAP {
+		return
+	}
+	if _, waiting := r.joiners[id]; waiting {
+		return
+	}
+	r.NewJoiner(id, st.Node, st.Code, st.Quota)
 }
 
 // LoseSATOnce makes the next SAT transmission vanish in the air — the pure
@@ -376,6 +458,7 @@ func (r *Ring) reform(reporter StationID, now sim.Time) {
 	r.epoch++
 	epoch := r.epoch
 	r.Metrics.Reformations++
+	r.NoteDisturbance()
 	r.Journal.Record(int64(now), trace.RecReform, int64(reporter), int64(len(r.order)), "")
 
 	// Freeze the network and clear all control state.
@@ -393,16 +476,45 @@ func (r *Ring) reform(reporter StationID, now sim.Time) {
 		st.rtPck, st.nrt1Pck, st.nrt2Pck = 0, 0, 0
 	}
 
-	// Survivors: active stations whose radios are up.
-	var members []*Station
+	// Survivors: active stations whose radios are up. The re-formation is a
+	// fresh ring over surviving radio *connectivity* (§2.5), not over the
+	// possibly decimated membership of the failed epoch — so exiled-but-
+	// healthy stations (radio up, still intending to rejoin) are readmitted
+	// here directly instead of waiting for a RAP the broken ring may never
+	// open again.
+	var members, readmit []*Station
 	for _, st := range r.tickOrder {
-		if st.active && r.medium.Alive(st.Node) {
-			members = append(members, st)
+		if !r.medium.Alive(st.Node) {
+			continue
 		}
+		if st.active {
+			members = append(members, st)
+			continue
+		}
+		if !r.params.EnableRAP || !r.params.AutoRejoin {
+			continue
+		}
+		if j, waiting := r.joiners[st.ID]; waiting &&
+			j.state != joinerListening && j.state != joinerRequested {
+			continue // gave up (or already mid-completion): leave it out
+		}
+		readmit = append(readmit, st)
 	}
-	if len(members) < 3 {
+	if len(members)+len(readmit) < 3 {
 		r.die("fewer than 3 survivors")
 		return
+	}
+	for _, st := range readmit {
+		st.active = true
+		if j, waiting := r.joiners[st.ID]; waiting {
+			j.ackWait.Cancel()
+			delete(r.joiners, st.ID)
+		}
+		r.medium.SetReceiver(st.Node, st)
+		r.medium.Listen(st.Node, st.Code)
+		r.Metrics.Rejoins++
+		r.Journal.Record(int64(now), trace.JoinDone, int64(st.ID), -1, "reform-readmit")
+		members = append(members, st)
 	}
 
 	// Re-run the ring-construction substrate over surviving connectivity.
@@ -452,6 +564,7 @@ func (r *Ring) reform(reporter StationID, now sim.Time) {
 		if first == nil || !first.active {
 			return
 		}
+		r.NoteDisturbance()
 		first.hasSAT = true
 		first.sat = &SatInfo{Rounds: r.Metrics.Rounds}
 		first.satSeizedAt = r.kernel.Now()

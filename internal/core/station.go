@@ -264,6 +264,7 @@ func (s *Station) tick(now sim.Time) {
 		s.ring.dropNextSAT = false
 		s.ring.satLostAt = now
 		s.ring.Metrics.SATInjectedLosses++
+		s.ring.NoteDisturbance()
 		frame.Sat = nil
 	}
 	s.ring.medium.Transmit(s.Node, s.ring.codeOf(s.succ), frame)
@@ -282,7 +283,16 @@ func (s *Station) tick(now sim.Time) {
 		s.active = false
 		s.satTimer.Cancel()
 		s.recDeadline.Cancel()
-		s.ring.medium.SetAlive(s.Node, false)
+		// Power off at the next slot boundary, not mid-slot: SetAlive purges
+		// the node's still-queued transmissions, and that would destroy the
+		// LEAVE announcement transmitted just above. The delivery event was
+		// scheduled first, so at the boundary the announcement propagates
+		// before this power-off runs — modelling a transmitter that finishes
+		// its last burst and then shuts down.
+		node, ring := s.Node, s.ring
+		ring.kernel.After(1, sim.PrioControl, func() {
+			ring.medium.SetAlive(node, false)
+		})
 	}
 }
 
@@ -434,6 +444,7 @@ func (s *Station) armSATTimer(now sim.Time) {
 func (s *Station) exile() {
 	s.Metrics.Exiled++
 	s.ring.Metrics.Exiles++
+	s.ring.NoteDisturbance()
 	s.ring.Journal.Record(int64(s.ring.kernel.Now()), trace.Exile, int64(s.ID), 0, "")
 	s.active = false
 	s.satTimer.Cancel()

@@ -1,0 +1,134 @@
+// Package fault is the deterministic fault-injection layer between the
+// radio medium and the protocol stations. It supplies the adversarial
+// conditions the paper's robustness claims (§2.4–§2.5) are made against:
+//
+//   - bursty per-link or per-code signal loss, modelled as a two-state
+//     Gilbert–Elliott Markov chain (a good state with rare losses and a bad
+//     state with frequent ones, geometric sojourn times in each);
+//   - a scheduled fault script — station crash at slot t, freeze for d
+//     slots, restart — plus Poisson join/leave churn arrival processes;
+//   - scripted one-shot frame drops by predicate, used by tests to destroy
+//     exactly one SAT, SAT_REC or JOIN_ACK and watch the recovery path.
+//
+// Everything draws from RNGs split off the run's seed, so a scenario with a
+// fault plan stays byte-identical at any worker count: the kernel is
+// single-threaded, queries arrive in a deterministic order, and no state is
+// shared between runs.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// GilbertElliott parameterises the two-state bursty-loss channel. All
+// probabilities are per-slot (transitions) or per-frame (losses).
+type GilbertElliott struct {
+	// PGoodBad is the per-slot probability of entering the bad state;
+	// PBadGood of leaving it. Mean burst length is 1/PBadGood slots.
+	PGoodBad float64 `json:"p_good_bad"`
+	PBadGood float64 `json:"p_bad_good"`
+	// LossGood and LossBad are the per-frame loss probabilities inside each
+	// state. Uniform loss is the degenerate chain LossGood == LossBad.
+	LossGood float64 `json:"loss_good"`
+	LossBad  float64 `json:"loss_bad"`
+	// PerCode keys one chain per CDMA code instead of one per directed
+	// link, modelling narrowband interference that tracks a channel rather
+	// than a path.
+	PerCode bool `json:"per_code,omitempty"`
+}
+
+// Uniform returns a memoryless channel losing each frame independently with
+// probability p — the degenerate Gilbert–Elliott chain that never leaves the
+// good state.
+func Uniform(p float64) GilbertElliott {
+	return GilbertElliott{LossGood: p, LossBad: p}
+}
+
+// Burst returns a bursty channel with the given long-run mean loss rate and
+// mean burst length (slots). Inside a burst frames are lost with probability
+// badLoss = min(1, 10·mean); outside it with mean/10. The state-transition
+// probabilities are solved so the stationary loss rate matches mean:
+//
+//	mean = πG·lossGood + πB·lossBad,  πB = PGoodBad/(PGoodBad+PBadGood).
+func Burst(mean float64, burstLen int64) GilbertElliott {
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	if mean <= 0 {
+		return GilbertElliott{}
+	}
+	lossBad := math.Min(1, 10*mean)
+	lossGood := mean / 10
+	pBG := 1 / float64(burstLen)
+	// Solve πB from the stationary-rate equation, then PGoodBad from πB.
+	piB := (mean - lossGood) / (lossBad - lossGood)
+	if piB <= 0 {
+		return GilbertElliott{LossGood: mean, LossBad: mean}
+	}
+	if piB >= 1 {
+		return GilbertElliott{LossGood: lossBad, LossBad: lossBad}
+	}
+	pGB := pBG * piB / (1 - piB)
+	return GilbertElliott{PGoodBad: pGB, PBadGood: pBG, LossGood: lossGood, LossBad: lossBad}
+}
+
+// MeanLoss returns the stationary per-frame loss rate of the channel.
+func (g GilbertElliott) MeanLoss() float64 {
+	if g.PGoodBad <= 0 || g.PBadGood <= 0 {
+		return g.LossGood
+	}
+	piB := g.PGoodBad / (g.PGoodBad + g.PBadGood)
+	return (1-piB)*g.LossGood + piB*g.LossBad
+}
+
+// Validate rejects out-of-range probabilities.
+func (g GilbertElliott) Validate() error {
+	for _, p := range []float64{g.PGoodBad, g.PBadGood, g.LossGood, g.LossBad} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("fault: probability %v out of [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the channel can drop anything at all.
+func (g GilbertElliott) Enabled() bool {
+	return g.LossGood > 0 || (g.LossBad > 0 && g.PGoodBad > 0)
+}
+
+// chain is one Gilbert–Elliott state machine. Rather than stepping slot by
+// slot it samples geometric sojourn times, so advancing over an idle gap
+// costs O(state flips), not O(slots), and the rng draw sequence depends only
+// on the (deterministic) query order.
+type chain struct {
+	bad      bool
+	nextFlip sim.Time
+}
+
+func (c *chain) advance(now sim.Time, g GilbertElliott, rng *sim.RNG) {
+	for now >= c.nextFlip {
+		var stay int64
+		if c.bad {
+			c.bad = false
+			stay = rng.Geometric(g.PGoodBad)
+		} else {
+			c.bad = true
+			stay = rng.Geometric(g.PBadGood)
+		}
+		if stay >= math.MaxInt64-int64(c.nextFlip) {
+			c.nextFlip = math.MaxInt64
+			return
+		}
+		c.nextFlip += sim.Time(stay)
+	}
+}
+
+func (c *chain) lossProb(g GilbertElliott) float64 {
+	if c.bad {
+		return g.LossBad
+	}
+	return g.LossGood
+}

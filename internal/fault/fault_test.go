@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+func TestUniformModel(t *testing.T) {
+	g := Uniform(0.01)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Enabled() {
+		t.Fatal("Uniform(0.01) not enabled")
+	}
+	if m := g.MeanLoss(); math.Abs(m-0.01) > 1e-12 {
+		t.Fatalf("MeanLoss=%v, want 0.01", m)
+	}
+	if Uniform(0).Enabled() {
+		t.Fatal("Uniform(0) should be disabled")
+	}
+}
+
+func TestBurstModelStationaryRate(t *testing.T) {
+	for _, mean := range []float64{0.001, 0.01, 0.05} {
+		g := Burst(mean, 50)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("mean=%v: %v", mean, err)
+		}
+		if got := g.MeanLoss(); math.Abs(got-mean)/mean > 1e-9 {
+			t.Fatalf("mean=%v: stationary loss %v", mean, got)
+		}
+		if g.PBadGood > 0 && math.Abs(1/g.PBadGood-50) > 1e-9 {
+			t.Fatalf("mean=%v: burst length %v, want 50", mean, 1/g.PBadGood)
+		}
+	}
+}
+
+// drive pushes frames over one link through a bound injector for `slots`
+// slots and reports the delivered fraction.
+func drive(t *testing.T, seed uint64, model GilbertElliott, slots int) (lossRate float64, maxRun int) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	m := radio.NewMedium(k, rng.Split())
+	in := NewInjector(k, rng.Split(), model)
+	in.Bind(m)
+
+	delivered := 0
+	run, maxRunSeen := 0, 0
+	rx := receiverFunc(func() { delivered++; run = 0 })
+	a := m.AddNode(radio.Position{X: 0, Y: 0}, 10, nil)
+	b := m.AddNode(radio.Position{X: 5, Y: 0}, 10, rx)
+	m.Listen(b, 7)
+	sent := 0
+	k.EverySlot(0, sim.PrioSlot, func(tm sim.Time) bool {
+		if int(tm) >= slots {
+			return false
+		}
+		before := delivered
+		_ = before
+		m.Transmit(a, 7, int64(tm))
+		sent++
+		return true
+	})
+	k.EverySlot(1, sim.PrioStats, func(tm sim.Time) bool {
+		// Track the longest consecutive-loss run: a delivery resets `run`
+		// (in OnReceive); a slot without delivery extends it.
+		if int(tm) > slots {
+			return false
+		}
+		run++
+		if run > 1 && run-1 > maxRunSeen {
+			maxRunSeen = run - 1
+		}
+		return true
+	})
+	k.RunAll()
+	if sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	return float64(sent-delivered) / float64(sent), maxRunSeen
+}
+
+type receiverFunc func()
+
+func (f receiverFunc) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) { f() }
+func (f receiverFunc) OnCollision(code radio.Code)                                     {}
+
+func TestInjectorUniformLossRate(t *testing.T) {
+	loss, _ := drive(t, 3, Uniform(0.05), 200000)
+	if math.Abs(loss-0.05) > 0.005 {
+		t.Fatalf("empirical loss %v, want ~0.05", loss)
+	}
+}
+
+func TestInjectorBurstyLossRateAndBursts(t *testing.T) {
+	mean := 0.05
+	lossU, maxRunU := drive(t, 5, Uniform(mean), 200000)
+	lossB, maxRunB := drive(t, 5, Burst(mean, 100), 200000)
+	if math.Abs(lossB-mean)/mean > 0.25 {
+		t.Fatalf("bursty empirical loss %v, want ~%v", lossB, mean)
+	}
+	if math.Abs(lossU-mean)/mean > 0.1 {
+		t.Fatalf("uniform empirical loss %v, want ~%v", lossU, mean)
+	}
+	// Same long-run rate, but the bursty channel's losses must clump: its
+	// longest loss run should clearly exceed the memoryless channel's.
+	if maxRunB <= maxRunU {
+		t.Fatalf("bursty max loss run %d not larger than uniform %d", maxRunB, maxRunU)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	l1, r1 := drive(t, 9, Burst(0.01, 50), 50000)
+	l2, r2 := drive(t, 9, Burst(0.01, 50), 50000)
+	if l1 != l2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", l1, r1, l2, r2)
+	}
+	l3, _ := drive(t, 10, Burst(0.01, 50), 50000)
+	if l1 == l3 {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestScriptedDropFIFO(t *testing.T) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(1)
+	m := radio.NewMedium(k, rng.Split())
+	in := NewInjector(k, rng.Split(), GilbertElliott{})
+	in.Bind(m)
+
+	var got []radio.Frame
+	rx := collectorFunc(func(f radio.Frame) { got = append(got, f) })
+	a := m.AddNode(radio.Position{X: 0, Y: 0}, 10, nil)
+	b := m.AddNode(radio.Position{X: 5, Y: 0}, 10, rx)
+	m.Listen(b, 7)
+
+	in.DropNext(func(f radio.Frame) bool { return f == "two" })
+	for _, f := range []radio.Frame{"one", "two", "three", "two"} {
+		m.Transmit(a, 7, f)
+		k.RunAll()
+	}
+	if len(got) != 3 || got[0] != "one" || got[1] != "three" || got[2] != "two" {
+		t.Fatalf("got=%v, want [one three two] (first match dropped once)", got)
+	}
+	if in.DroppedScripted != 1 {
+		t.Fatalf("DroppedScripted=%d, want 1", in.DroppedScripted)
+	}
+}
+
+type collectorFunc func(radio.Frame)
+
+func (f collectorFunc) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeID) { f(frame) }
+func (f collectorFunc) OnCollision(code radio.Code)                                     {}
+
+func TestScriptValidate(t *testing.T) {
+	if err := (Script{Crashes: []Crash{{At: -1}}}).Validate(); err == nil {
+		t.Fatal("negative crash slot accepted")
+	}
+	if err := (Script{Churn: Churn{JoinEvery: -1}}).Validate(); err == nil {
+		t.Fatal("negative churn mean accepted")
+	}
+	if err := (Script{Crashes: []Crash{{At: 5, Station: 1, For: 10}}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

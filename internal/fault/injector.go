@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"math"
+
+	"github.com/rtnet/wrtring/internal/radio"
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// linkKey identifies a loss chain: a directed (from, to) pair, or a single
+// code when the model is per-code (from/to are then -1).
+type linkKey struct {
+	from, to radio.NodeID
+	code     radio.Code
+}
+
+// Injector binds a Gilbert–Elliott loss model and scripted one-shot drops
+// to a radio.Medium. Bind installs it as the medium's FaultFn; the medium
+// consults it once per otherwise-successful delivery.
+type Injector struct {
+	kernel *sim.Kernel
+	rng    *sim.RNG
+	model  GilbertElliott
+	chains map[linkKey]*chain
+
+	// scripted one-shot drops, consumed in FIFO order: the first pending
+	// matcher that accepts a frame destroys it and is retired.
+	scripted []func(f radio.Frame) bool
+
+	// OnDrop, when non-nil, observes every frame the injector destroys
+	// (in addition to the medium's own OnDrop hook).
+	OnDrop func(code radio.Code, f radio.Frame)
+
+	// Dropped counts frames destroyed by the loss model; DroppedScripted
+	// counts one-shot scripted drops.
+	Dropped         int64
+	DroppedScripted int64
+}
+
+// NewInjector creates an injector driven by the kernel's clock with
+// randomness from rng (split it from the run's seed RNG).
+func NewInjector(k *sim.Kernel, rng *sim.RNG, model GilbertElliott) *Injector {
+	return &Injector{kernel: k, rng: rng, model: model, chains: map[linkKey]*chain{}}
+}
+
+// Bind installs the injector on the medium. Any previously installed
+// FaultFn is replaced.
+func (in *Injector) Bind(m *radio.Medium) { m.FaultFn = in.ShouldDrop }
+
+// DropNext schedules a one-shot drop: the next delivered frame for which
+// match returns true is destroyed. Multiple pending matchers are consumed
+// in FIFO order, each at most once.
+func (in *Injector) DropNext(match func(f radio.Frame) bool) {
+	in.scripted = append(in.scripted, match)
+}
+
+// ShouldDrop implements the medium's FaultFn contract.
+func (in *Injector) ShouldDrop(from, to radio.NodeID, code radio.Code, f radio.Frame) bool {
+	for i, match := range in.scripted {
+		if match != nil && match(f) {
+			in.scripted[i] = nil
+			in.compactScripted()
+			in.DroppedScripted++
+			if in.OnDrop != nil {
+				in.OnDrop(code, f)
+			}
+			return true
+		}
+	}
+	if !in.model.Enabled() {
+		return false
+	}
+	key := linkKey{from: from, to: to, code: code}
+	if in.model.PerCode {
+		key.from, key.to = -1, -1
+	}
+	now := in.kernel.Now()
+	c, ok := in.chains[key]
+	if !ok {
+		c = &chain{}
+		stay := in.rng.Geometric(in.model.PGoodBad)
+		if stay >= math.MaxInt64-int64(now) {
+			c.nextFlip = math.MaxInt64
+		} else {
+			c.nextFlip = now + sim.Time(stay)
+		}
+		in.chains[key] = c
+	}
+	c.advance(now, in.model, in.rng)
+	if in.rng.Bool(c.lossProb(in.model)) {
+		in.Dropped++
+		if in.OnDrop != nil {
+			in.OnDrop(code, f)
+		}
+		return true
+	}
+	return false
+}
+
+func (in *Injector) compactScripted() {
+	kept := in.scripted[:0]
+	for _, m := range in.scripted {
+		if m != nil {
+			kept = append(kept, m)
+		}
+	}
+	in.scripted = kept
+}

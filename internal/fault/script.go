@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/rtnet/wrtring/internal/sim"
+)
+
+// Target is the protocol-facing surface a fault script drives. The scenario
+// layer adapts the concrete protocol (WRT-Ring's kill/restart/leave/joiner
+// machinery) behind it, keeping this package independent of the MAC.
+type Target interface {
+	// Kill powers the station off silently (crash).
+	Kill(station int)
+	// Restart powers a previously crashed station back on; with a join
+	// window available it re-enters the ring as a newcomer.
+	Restart(station int)
+	// Leave makes the station depart gracefully.
+	Leave(station int)
+	// Join introduces one churn newcomer (placement is the adapter's
+	// choice).
+	Join()
+	// Members reports the current ring size, so leave churn never starves
+	// the ring below quorum.
+	Members() int
+}
+
+// Crash freezes Station at slot At for For slots, then restarts it. For <= 0
+// means the station never comes back.
+type Crash struct {
+	At      int64 `json:"at"`
+	Station int   `json:"station"`
+	For     int64 `json:"for,omitempty"`
+}
+
+// Churn configures Poisson join/leave arrival processes: one join arrives on
+// average every JoinEvery slots, one leave every LeaveEvery slots (0 turns a
+// process off). Arrivals are scheduled inside [Start, Stop) (Stop 0 = run
+// forever). Leaves are suppressed while the ring has MinMembers or fewer.
+type Churn struct {
+	JoinEvery  float64 `json:"join_every,omitempty"`
+	LeaveEvery float64 `json:"leave_every,omitempty"`
+	Start      int64   `json:"start,omitempty"`
+	Stop       int64   `json:"stop,omitempty"`
+	MinMembers int     `json:"min_members,omitempty"`
+}
+
+// Script is a complete scheduled fault plan.
+type Script struct {
+	Crashes []Crash `json:"crashes,omitempty"`
+	Churn   Churn   `json:"churn,omitempty"`
+}
+
+// Validate rejects ill-formed plans.
+func (s Script) Validate() error {
+	for i, c := range s.Crashes {
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash %d scheduled at negative slot %d", i, c.At)
+		}
+		if c.Station < 0 {
+			return fmt.Errorf("fault: crash %d targets negative station %d", i, c.Station)
+		}
+	}
+	if s.Churn.JoinEvery < 0 || s.Churn.LeaveEvery < 0 {
+		return fmt.Errorf("fault: negative churn inter-arrival mean")
+	}
+	return nil
+}
+
+// Apply installs the script on the kernel. The rng must be split from the
+// run's seed RNG so churn arrival times are part of the deterministic trace.
+func Apply(k *sim.Kernel, rng *sim.RNG, tgt Target, s Script) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, c := range s.Crashes {
+		c := c
+		k.At(sim.Time(c.At), sim.PrioAdmin, func() { tgt.Kill(c.Station) })
+		if c.For > 0 {
+			k.At(sim.Time(c.At+c.For), sim.PrioAdmin, func() { tgt.Restart(c.Station) })
+		}
+	}
+	minMembers := s.Churn.MinMembers
+	if minMembers <= 0 {
+		minMembers = 4
+	}
+	startProcess := func(mean float64, fire func()) {
+		if mean <= 0 {
+			return
+		}
+		var next func()
+		next = func() {
+			if s.Churn.Stop > 0 && k.Now() >= sim.Time(s.Churn.Stop) {
+				return
+			}
+			fire()
+			k.After(sim.Time(rng.ExpSlots(mean)), sim.PrioAdmin, next)
+		}
+		start := sim.Time(s.Churn.Start) + sim.Time(rng.ExpSlots(mean))
+		k.At(start, sim.PrioAdmin, next)
+	}
+	startProcess(s.Churn.JoinEvery, tgt.Join)
+	startProcess(s.Churn.LeaveEvery, func() {
+		if tgt.Members() > minMembers {
+			tgt.Leave(-1)
+		}
+	})
+	return nil
+}

@@ -119,11 +119,25 @@ type Medium struct {
 	// (identified by the IsControl interface below); -1 means "use LossProb".
 	ControlLossProb float64
 
+	// FaultFn, when non-nil, is consulted for every otherwise-successful
+	// delivery after the uniform LossProb draw; returning true destroys the
+	// frame at that receiver. It is the hook the deterministic fault-
+	// injection layer (internal/fault) binds per-link or per-code loss
+	// models to.
+	FaultFn func(from, to NodeID, code Code, f Frame) bool
+	// OnDrop, when non-nil, observes every frame destroyed by LossProb or
+	// FaultFn (not collisions). Protocol layers use it to distinguish "the
+	// medium ate a control signal" from silence.
+	OnDrop func(from, to NodeID, code Code, f Frame)
+
 	// Stats.
 	Sent       int64
 	Delivered  int64
 	Collisions int64
 	Lost       int64
+	// Purged counts queued transmissions destroyed because their sender
+	// was powered off in the same slot (see SetAlive).
+	Purged int64
 }
 
 // IsControl may be implemented by frames to opt into ControlLossProb.
@@ -167,16 +181,56 @@ func (m *Medium) RangeOf(id NodeID) float64 { return m.nodes[id].rng }
 
 // SetAlive marks a node up or down. Dead nodes neither transmit nor receive;
 // in-flight frames addressed to them are silently dropped.
-func (m *Medium) SetAlive(id NodeID, alive bool) { m.nodes[id].alive = alive }
+//
+// Powering a node off is atomic with respect to the current slot: the
+// node's own queued transmissions are purged (a power cut mid-slot kills
+// the in-progress transmission, so it can neither be heard nor collide)
+// and its listener-index subscriptions — including the broadcast code —
+// are removed. Powering it back on restores the subscriptions recorded in
+// its listen set.
+func (m *Medium) SetAlive(id NodeID, alive bool) {
+	n := m.nodes[id]
+	if n.alive == alive {
+		return
+	}
+	n.alive = alive
+	if alive {
+		// Restore subscriptions. Map iteration order is irrelevant: the
+		// listener index keeps each code's set sorted independently.
+		for code := range n.listen {
+			m.listeners.add(code, id)
+		}
+		return
+	}
+	for code := range n.listen {
+		m.listeners.remove(code, id)
+	}
+	kept := m.pending[:0]
+	for _, tx := range m.pending {
+		if tx.from == id {
+			m.Purged++
+			continue
+		}
+		kept = append(kept, tx)
+	}
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = transmission{}
+	}
+	m.pending = kept
+}
 
 // Alive reports whether a node is up.
 func (m *Medium) Alive(id NodeID) bool { return m.nodes[id].alive }
 
 // Listen subscribes a node to a code; a node can listen to several codes at
-// once (its own receiver code plus the broadcast code, typically).
+// once (its own receiver code plus the broadcast code, typically). For a
+// dead node the subscription is recorded but only enters the delivery index
+// when the node is powered back on.
 func (m *Medium) Listen(id NodeID, code Code) {
 	m.nodes[id].listen[code] = true
-	m.listeners.add(code, id)
+	if m.nodes[id].alive {
+		m.listeners.add(code, id)
+	}
 }
 
 // Unlisten unsubscribes a node from a code.
@@ -289,8 +343,12 @@ func (m *Medium) deliver() {
 			case 0:
 				// nothing reaches this node
 			case 1:
-				if m.lose(only.data) {
+				if m.lose(only.data) ||
+					(m.FaultFn != nil && m.FaultFn(only.from, id, code, only.data)) {
 					m.Lost++
+					if m.OnDrop != nil {
+						m.OnDrop(only.from, id, code, only.data)
+					}
 					continue
 				}
 				m.Delivered++
@@ -310,6 +368,16 @@ func (m *Medium) deliver() {
 		byCode[code] = byCode[code][:0]
 	}
 	m.scratchCodes = codes[:0]
+}
+
+// ScanPending visits every transmission queued during the current slot (to
+// be resolved at the next slot boundary). Observers such as the recovery
+// invariant checker use it to count in-flight control signals; fn must not
+// transmit or mutate the medium.
+func (m *Medium) ScanPending(fn func(from NodeID, code Code, f Frame)) {
+	for _, tx := range m.pending {
+		fn(tx.from, tx.code, tx.data)
+	}
 }
 
 // sortCodes is a small insertion sort: the per-slot code count is tiny and

@@ -1,0 +1,162 @@
+package radio
+
+import (
+	"testing"
+)
+
+// Powering a node off mid-slot must purge its queued transmissions: a frame
+// transmitted in the same slot as the power cut can neither be delivered nor
+// collide with anyone.
+func TestSetAlivePurgesQueuedTransmissions(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.Transmit(a, 7, "doomed")
+	m.SetAlive(a, false)
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatalf("dead sender's frame was delivered: %v", rx.frames)
+	}
+	if m.Purged != 1 {
+		t.Fatalf("Purged=%d, want 1", m.Purged)
+	}
+}
+
+// The purge must be per-sender: a concurrent same-code transmission from a
+// live node that would have collided with the purged frame now goes through
+// clean.
+func TestSetAlivePurgeRemovesCollision(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	c := m.AddNode(Position{0, 2}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.Transmit(a, 7, "from-a")
+	m.Transmit(c, 7, "from-c")
+	m.SetAlive(a, false)
+	k.RunAll()
+	if len(rx.collisions) != 0 {
+		t.Fatalf("purged frame still collided: %v", rx.collisions)
+	}
+	if len(rx.frames) != 1 || rx.frames[0] != "from-c" {
+		t.Fatalf("frames=%v, want the live sender's frame only", rx.frames)
+	}
+}
+
+// Power-off must also unsubscribe the node from every code — including the
+// broadcast code — in the same slot, and power-on must restore the full
+// listen set.
+func TestSetAliveRemovesAndRestoresSubscriptions(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+
+	m.SetAlive(b, false)
+	m.Transmit(a, 7, "unicast")
+	m.Transmit(a, Broadcast, "broadcast")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatalf("dead node received %v", rx.frames)
+	}
+
+	m.SetAlive(b, true)
+	m.Transmit(a, 7, "unicast2")
+	m.Transmit(a, Broadcast, "broadcast2")
+	k.RunAll()
+	if len(rx.frames) != 2 {
+		t.Fatalf("revived node received %d frames (%v), want 2", len(rx.frames), rx.frames)
+	}
+	if !m.ListensTo(b, 7) || !m.ListensTo(b, Broadcast) {
+		t.Fatal("listen set lost across the power cycle")
+	}
+}
+
+// A subscription made while dead must take effect only at power-on.
+func TestListenWhileDeadDefersUntilRevive(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.SetAlive(b, false)
+	m.Listen(b, 9)
+	m.Transmit(a, 9, "early")
+	k.RunAll()
+	if len(rx.frames) != 0 {
+		t.Fatalf("dead node received %v", rx.frames)
+	}
+	m.SetAlive(b, true)
+	m.Transmit(a, 9, "late")
+	k.RunAll()
+	if len(rx.frames) != 1 || rx.frames[0] != "late" {
+		t.Fatalf("frames=%v, want [late]", rx.frames)
+	}
+}
+
+// SetAlive must be idempotent: a duplicate power-on must not duplicate the
+// node in the listener index (which would double-deliver).
+func TestSetAliveIdempotent(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	m.SetAlive(b, true) // already alive: no-op
+	m.SetAlive(b, false)
+	m.SetAlive(b, false) // already dead: no-op
+	m.SetAlive(b, true)
+	m.Transmit(a, 7, "once")
+	k.RunAll()
+	if len(rx.frames) != 1 {
+		t.Fatalf("received %d copies, want 1", len(rx.frames))
+	}
+}
+
+// ScanPending must expose the current slot's queued transmissions.
+func TestScanPending(t *testing.T) {
+	k, m := setup(1)
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	m.Transmit(a, 7, "x")
+	m.Transmit(a, 8, "y")
+	var seen []Code
+	m.ScanPending(func(from NodeID, code Code, f Frame) {
+		if from != a {
+			t.Fatalf("from=%d, want %d", from, a)
+		}
+		seen = append(seen, code)
+	})
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 8 {
+		t.Fatalf("seen=%v", seen)
+	}
+	k.RunAll()
+	m.ScanPending(func(NodeID, Code, Frame) { t.Fatal("pending after delivery") })
+}
+
+// FaultFn drops exactly the frames it flags and OnDrop observes them.
+func TestFaultFnAndOnDrop(t *testing.T) {
+	k, m := setup(1)
+	rx := &recorder{}
+	a := m.AddNode(Position{0, 0}, 10, nil)
+	b := m.AddNode(Position{5, 0}, 10, rx)
+	m.Listen(b, 7)
+	var dropped []Frame
+	m.FaultFn = func(from, to NodeID, code Code, f Frame) bool { return f == "bad" }
+	m.OnDrop = func(from, to NodeID, code Code, f Frame) { dropped = append(dropped, f) }
+	m.Transmit(a, 7, "good")
+	k.RunAll()
+	m.Transmit(a, 7, "bad")
+	k.RunAll()
+	if len(rx.frames) != 1 || rx.frames[0] != "good" {
+		t.Fatalf("frames=%v, want [good]", rx.frames)
+	}
+	if len(dropped) != 1 || dropped[0] != "bad" {
+		t.Fatalf("dropped=%v, want [bad]", dropped)
+	}
+	if m.Lost != 1 {
+		t.Fatalf("Lost=%d, want 1", m.Lost)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Geometric(1); v != 1 {
+		t.Fatalf("Geometric(1)=%d, want 1", v)
+	}
+	if v := r.Geometric(1.5); v != 1 {
+		t.Fatalf("Geometric(1.5)=%d, want 1", v)
+	}
+	if v := r.Geometric(0); v != math.MaxInt64 {
+		t.Fatalf("Geometric(0)=%d, want MaxInt64", v)
+	}
+	if v := r.Geometric(-0.5); v != math.MaxInt64 {
+		t.Fatalf("Geometric(-0.5)=%d, want MaxInt64", v)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// The mean of Geometric(p) on {1, 2, ...} is 1/p.
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		r := NewRNG(42)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Geometric(p)
+			if v < 1 {
+				t.Fatalf("Geometric(%v) returned %d < 1", p, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / n
+		want := 1 / p
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("Geometric(%v) mean=%.2f, want ~%.2f", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if va, vb := a.Geometric(0.05), b.Geometric(0.05); va != vb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, va, vb)
+		}
+	}
+}

@@ -110,6 +110,29 @@ func (r *RNG) ExpSlots(mean float64) int64 {
 	return v
 }
 
+// Geometric draws the number of Bernoulli(p) trials up to and including the
+// first success — a geometric variate on {1, 2, ...} via inversion. It is
+// the sojourn-time sampler of the Gilbert–Elliott channel model: a two-state
+// chain that flips with per-slot probability p stays put Geometric(p) slots.
+// p <= 0 returns math.MaxInt64 (the flip never happens); p >= 1 returns 1.
+func (r *RNG) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return math.MaxInt64
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	v := int64(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
 // Perm returns a random permutation of [0, n) (Fisher–Yates).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -84,6 +84,7 @@ func (w *Welford) String() string {
 type Histogram struct {
 	buckets  []int64
 	overflow int64
+	clamped  int64
 	n        int64
 	sum      int64
 	maxSeen  int64
@@ -97,10 +98,13 @@ func NewHistogram(capValue int) *Histogram {
 	return &Histogram{buckets: make([]int64, capValue+1)}
 }
 
-// Add records one sample. Negative samples are clamped to zero.
+// Add records one sample. Negative samples are clamped to zero and counted
+// in Clamped — a negative delay is always an upstream bookkeeping bug, and a
+// silently swallowed one is undiagnosable.
 func (h *Histogram) Add(v int64) {
 	if v < 0 {
 		v = 0
+		h.clamped++
 	}
 	if v > h.maxSeen {
 		h.maxSeen = v
@@ -116,6 +120,12 @@ func (h *Histogram) Add(v int64) {
 
 // N returns the number of samples recorded.
 func (h *Histogram) N() int64 { return h.n }
+
+// Clamped returns how many negative samples were clamped to zero by Add.
+func (h *Histogram) Clamped() int64 { return h.clamped }
+
+// Overflowed returns how many samples exceeded the histogram's cap.
+func (h *Histogram) Overflowed() int64 { return h.overflow }
 
 // Mean returns the sample mean.
 func (h *Histogram) Mean() float64 {

@@ -105,6 +105,49 @@ func TestHistogramOverflowAndClamp(t *testing.T) {
 	if q := h.Quantile(1.0); q != 1000 {
 		t.Fatalf("overflowed p100 = %d", q)
 	}
+	if h.Clamped() != 1 {
+		t.Fatalf("clamped = %d, want 1", h.Clamped())
+	}
+	if h.Overflowed() != 1 {
+		t.Fatalf("overflowed = %d, want 1", h.Overflowed())
+	}
+}
+
+// Every sample above the cap: quantiles cannot come from the (empty)
+// interior buckets and must fall back to the true maximum, at any q.
+func TestHistogramAllOverflowQuantile(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int64{50, 60, 70} {
+		h.Add(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 70 {
+			t.Fatalf("all-overflow Quantile(%v) = %d, want 70", q, got)
+		}
+	}
+	if h.Overflowed() != 3 || h.Clamped() != 0 {
+		t.Fatalf("overflowed=%d clamped=%d", h.Overflowed(), h.Clamped())
+	}
+}
+
+// Clamped negatives still count as zero-valued samples (n, mean, quantiles).
+func TestHistogramClampAccounting(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(-3)
+	h.Add(-1)
+	h.Add(4)
+	if h.Clamped() != 2 {
+		t.Fatalf("clamped = %d, want 2", h.Clamped())
+	}
+	if h.N() != 3 {
+		t.Fatalf("n = %d, want 3", h.N())
+	}
+	if got := h.Mean(); got != 4.0/3.0 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("median = %d, want 0 (two clamped zeros)", got)
+	}
 }
 
 func TestHistogramQuantileMonotoneProperty(t *testing.T) {

@@ -175,4 +175,8 @@ const (
 	LeaveDone Kind = "leave.done"
 	// Exile: healthy A was cut out of the ring by a splice.
 	Exile Kind = "exile"
+	// Restart: crashed A was powered back on.
+	Restart Kind = "restart"
+	// Invariant: a ring-health invariant failed; Note names the check.
+	Invariant Kind = "invariant"
 )

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench-compare.sh — compare two `go test -bench` output files and fail if
+# any benchmark regressed by more than BENCH_MAX_REGRESSION_PCT percent.
+#
+# Usage:
+#   scripts/bench-compare.sh [baseline] [latest]
+#     baseline  default: benchmarks/baseline.txt
+#     latest    default: benchmarks/latest.txt
+#
+# Environment:
+#   BENCH_MAX_REGRESSION_PCT  fail threshold in percent (default 10)
+#
+# For each benchmark name the best (minimum) ns/op across -count repetitions
+# is used, which filters scheduler noise. Benchmarks present in only one
+# file are reported but never fail the check. Compare runs from the same
+# machine and goos/goarch only — cross-machine deltas are meaningless.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base="${1:-benchmarks/baseline.txt}"
+new="${2:-benchmarks/latest.txt}"
+thresh="${BENCH_MAX_REGRESSION_PCT:-10}"
+
+for f in "$base" "$new"; do
+	if [ ! -f "$f" ]; then
+		echo "bench-compare: missing $f (run scripts/bench.sh first," >&2
+		echo "or 'make bench-baseline' to create a baseline)" >&2
+		exit 2
+	fi
+done
+
+# Emit "name best_ns_per_op" pairs, sorted by name, best-of over -count runs.
+extract() {
+	awk '/^Benchmark/ {
+		for (i = 2; i < NF; i++)
+			if ($(i+1) == "ns/op") { print $1, $i; break }
+	}' "$1" | sort -k1,1 | awk '
+		$1 != last { if (last != "") print last, best; last = $1; best = $2; next }
+		$2 + 0 < best + 0 { best = $2 }
+		END { if (last != "") print last, best }'
+}
+
+join -a1 -a2 -e '-' -o 0,1.2,2.2 \
+	<(extract "$base") <(extract "$new") |
+	awk -v thresh="$thresh" '
+	BEGIN {
+		printf "%-46s %14s %14s %9s\n", "benchmark", "baseline", "latest", "delta%"
+		fail = 0
+	}
+	{
+		name = $1; old = $2; cur = $3
+		if (old == "-" || cur == "-") {
+			printf "%-46s %14s %14s %9s\n", name, old, cur, "n/a"
+			next
+		}
+		delta = (cur - old) / old * 100
+		mark = ""
+		if (delta > thresh) { mark = "  << REGRESSION"; fail = 1 }
+		printf "%-46s %14.0f %14.0f %+8.1f%%%s\n", name, old, cur, delta, mark
+	}
+	END {
+		if (fail) {
+			printf "\nFAIL: at least one benchmark regressed more than %s%%\n", thresh
+			exit 1
+		}
+		printf "\nOK: no benchmark regressed more than %s%%\n", thresh
+	}'

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and store raw `go test -bench` output
+# for regression tracking.
+#
+# Usage:
+#   scripts/bench.sh [outfile]        # default: benchmarks/latest.txt
+#
+# Environment:
+#   BENCH_PKGS   packages to benchmark (default ./...)
+#   BENCH_COUNT  -count repetitions, best-of is used by the comparer (default 3)
+#   BENCH_TIME   -benchtime per benchmark (unset: go's default 1s; set e.g.
+#                "1x" for a quick smoke pass — too noisy for comparisons)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-benchmarks/latest.txt}"
+pkgs="${BENCH_PKGS:-./...}"
+count="${BENCH_COUNT:-3}"
+
+timeflag=()
+if [ -n "${BENCH_TIME:-}" ]; then
+	timeflag=(-benchtime "$BENCH_TIME")
+fi
+
+mkdir -p "$(dirname "$out")"
+{
+	echo "# $(go version)"
+	echo "# goos=$(go env GOOS) goarch=$(go env GOARCH)"
+	echo "# pkgs=$pkgs count=$count benchtime=${BENCH_TIME:-default}"
+	go test -run '^$' -bench . -benchmem "${timeflag[@]}" -count "$count" $pkgs
+} | tee "$out"
+echo "wrote $out" >&2

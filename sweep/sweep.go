@@ -91,6 +91,33 @@ func OverQuota(base wrtring.Scenario, lks [][2]int) []Point {
 	return pts
 }
 
+// OverLoss builds a sweep varying the fault-injection loss rate. burstLen 0
+// gives memoryless (uniform) loss; otherwise each point uses a bursty
+// Gilbert–Elliott channel with that mean burst length. An existing Fault
+// plan on the base scenario is copied, so crash/churn scripts combine with
+// the swept loss channel.
+func OverLoss(base wrtring.Scenario, means []float64, burstLen int64) []Point {
+	shape := "uniform"
+	if burstLen > 0 {
+		shape = fmt.Sprintf("burst=%d", burstLen)
+	}
+	pts := make([]Point, 0, len(means))
+	for _, mean := range means {
+		s := base
+		var f wrtring.FaultSpec
+		if base.Fault != nil {
+			f = *base.Fault
+		}
+		f.Loss = &wrtring.LossSpec{Mean: mean, BurstLen: burstLen}
+		s.Fault = &f
+		pts = append(pts, Point{
+			Name:     fmt.Sprintf("loss=%.2f%%/%s", mean*100, shape),
+			Scenario: s,
+		})
+	}
+	return pts
+}
+
 // OverProtocol duplicates every point for both protocols, name-prefixed.
 func OverProtocol(points []Point) []Point {
 	out := make([]Point, 0, 2*len(points))

@@ -115,3 +115,55 @@ func TestSortByThroughput(t *testing.T) {
 		t.Fatalf("sort order: %v", Names(outs))
 	}
 }
+
+func TestOverLoss(t *testing.T) {
+	b := base()
+	b.Fault = &wrtring.FaultSpec{Crashes: []wrtring.CrashOp{{At: 1000, Station: 2, For: 500}}}
+	pts := OverLoss(b, []float64{0.001, 0.01}, 50)
+	if len(pts) != 2 {
+		t.Fatalf("points %+v", pts)
+	}
+	if pts[0].Name != "loss=0.10%/burst=50" {
+		t.Fatalf("name %s", pts[0].Name)
+	}
+	if pts[1].Scenario.Fault.Loss.Mean != 0.01 || pts[1].Scenario.Fault.Loss.BurstLen != 50 {
+		t.Fatalf("loss spec %+v", pts[1].Scenario.Fault.Loss)
+	}
+	// The base crash schedule must survive the combinator, on a copy.
+	if len(pts[0].Scenario.Fault.Crashes) != 1 || b.Fault.Loss != nil {
+		t.Fatal("combinator mutated the base fault plan")
+	}
+	if uni := OverLoss(base(), []float64{0.01}, 0); uni[0].Name != "loss=1.00%/uniform" {
+		t.Fatalf("uniform name %s", uni[0].Name)
+	}
+}
+
+// TestFaultedSweepParallelMatchesSerial is the fault-injection acceptance
+// criterion for the batch layer: a grid of lossy, crash-scripted scenarios
+// is byte-identical at any worker count for a fixed seed.
+func TestFaultedSweepParallelMatchesSerial(t *testing.T) {
+	b := base()
+	b.EnableRAP, b.TEar, b.TUpdate, b.AutoRejoin = true, 12, 4, true
+	b.RangeChords = 8
+	b.Fault = &wrtring.FaultSpec{Crashes: []wrtring.CrashOp{{At: 1000, Station: 3, For: 500}}}
+	var pts []Point
+	for _, burst := range []int64{0, 50} {
+		pts = append(pts, OverLoss(b, []float64{0.001, 0.01, 0.05}, burst)...)
+	}
+	serial := Run(pts, 1)
+	parallel := Run(pts, 4)
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("errors: %v / %v", serial[i].Err, parallel[i].Err)
+		}
+		if *serial[i].Result != *parallel[i].Result {
+			t.Fatalf("faulted point %s diverged between -jobs counts", pts[i].Name)
+		}
+		if serial[i].Result.InvariantViolations != 0 {
+			t.Fatalf("%s: invariant violations", pts[i].Name)
+		}
+		if serial[i].Result.FaultDropped == 0 {
+			t.Fatalf("%s: loss channel idle", pts[i].Name)
+		}
+	}
+}

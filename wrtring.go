@@ -24,6 +24,7 @@ import (
 	"github.com/rtnet/wrtring/internal/analysis"
 	"github.com/rtnet/wrtring/internal/codes"
 	"github.com/rtnet/wrtring/internal/core"
+	"github.com/rtnet/wrtring/internal/fault"
 	"github.com/rtnet/wrtring/internal/radio"
 	"github.com/rtnet/wrtring/internal/sim"
 	"github.com/rtnet/wrtring/internal/topology"
@@ -239,6 +240,10 @@ type Scenario struct {
 
 	// Churn scripts topology events (kills, leaves, joins, signal losses).
 	Churn []ChurnOp
+	// Fault, when non-nil, installs the deterministic fault-injection plan:
+	// a Gilbert–Elliott loss channel, scheduled crash/restart events, and
+	// Poisson join/leave churn (see FaultSpec).
+	Fault *FaultSpec
 	// Mobility, when non-nil, enables the low-mobility waypoint model.
 	Mobility *Mobility
 	// Trace enables the protocol event journal (see Network.Journal);
@@ -286,6 +291,10 @@ type Network struct {
 	// Exactly one of Ring / Tree is non-nil, per Scenario.Protocol.
 	Ring *core.Ring
 	Tree *tpt.Network
+
+	// Injector is the bound loss injector (nil unless Scenario.Fault.Loss
+	// enabled one); tests use it to script one-shot control-frame drops.
+	Injector *fault.Injector
 
 	Positions  []radio.Position
 	Generators []*traffic.Generator
@@ -415,6 +424,9 @@ func Build(s Scenario) (*Network, error) {
 	if err := net.applyChurn(sc.Churn); err != nil {
 		return nil, err
 	}
+	if err := net.applyFault(sc.Fault); err != nil {
+		return nil, err
+	}
 	if sc.Mobility != nil {
 		net.applyMobility(sc.Mobility)
 	}
@@ -482,11 +494,20 @@ func (n *Network) Start() {
 }
 
 // RunFor starts (if needed) and advances the simulation by d slots,
-// returning the result snapshot.
+// returning the result snapshot. Any ring-invariant violation recorded by
+// the always-on recovery checker (see internal/core) fails loudly here: a
+// violated invariant means the recovery machinery itself broke, and no
+// measurement taken afterwards can be trusted. The batch runner converts
+// the panic into a per-job error.
 func (n *Network) RunFor(d int64) *Result {
 	n.Start()
 	n.Kernel.Run(n.Kernel.Now() + sim.Time(d))
-	return n.Snapshot()
+	res := n.Snapshot()
+	if n.Ring != nil && n.Ring.Metrics.InvariantViolationTotal > 0 {
+		panic(fmt.Sprintf("wrtring: %d ring invariant violation(s), first: %s",
+			n.Ring.Metrics.InvariantViolationTotal, n.Ring.Metrics.InvariantViolations[0]))
+	}
+	return res
 }
 
 // Run executes the scenario for its configured duration.
@@ -536,6 +557,14 @@ type Result struct {
 
 	RAPs, Joins int64
 
+	// Restarts counts crashed stations powered back on; FaultDropped counts
+	// frames destroyed by the fault-injection layer; InvariantChecks and
+	// InvariantViolations report the recovery invariant audit (WRT-Ring).
+	Restarts            int64
+	FaultDropped        int64
+	InvariantChecks     int64
+	InvariantViolations int64
+
 	RadioSent, RadioDelivered, RadioCollisions, RadioLost int64
 
 	Dead bool
@@ -546,6 +575,9 @@ func (n *Network) Snapshot() *Result {
 	r := &Result{Protocol: n.Scenario.Protocol, Slots: int64(n.Kernel.Now())}
 	r.RadioSent, r.RadioDelivered = n.Medium.Sent, n.Medium.Delivered
 	r.RadioCollisions, r.RadioLost = n.Medium.Collisions, n.Medium.Lost
+	if n.Injector != nil {
+		r.FaultDropped = n.Injector.Dropped + n.Injector.DroppedScripted
+	}
 	if n.Ring != nil {
 		m := &n.Ring.Metrics
 		p := n.Ring.RingParams()
@@ -568,6 +600,9 @@ func (n *Network) Snapshot() *Result {
 		r.FalseAlarms = m.FalseAlarms
 		r.DetectLatency, r.HealLatency = m.DetectLatency.Mean(), m.HealLatency.Mean()
 		r.RAPs, r.Joins = m.RAPs, m.Joins
+		r.Restarts = m.Restarts
+		r.InvariantChecks = m.InvariantChecks
+		r.InvariantViolations = m.InvariantViolationTotal
 		r.Dead = m.Dead
 		return r
 	}
