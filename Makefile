@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments clean
+.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments serve clean
 
 all: build vet test
 
@@ -47,6 +47,11 @@ examples:
 
 experiments:
 	$(GO) run ./cmd/wrtexperiments > EXPERIMENTS.md
+
+# serve launches the scenario service (see README "Running as a service").
+PORT ?= 8080
+serve:
+	$(GO) run ./cmd/wrtserved -addr :$(PORT)
 
 clean:
 	$(GO) clean ./...

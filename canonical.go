@@ -1,0 +1,70 @@
+package wrtring
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the canonical scenario encoding and its content hash —
+// the primitive behind exact result caching (internal/serve) and duplicate
+// detection in sweeps. Two scenarios that describe the same experiment must
+// canonicalise to the same bytes, and a scenario's simulation outcome is a
+// pure function of those bytes: every run is driven by a discrete-event
+// kernel and RNGs split deterministically from Scenario.Seed, so equal
+// canonical encodings imply byte-identical Results at any worker count.
+
+// Canonical returns the canonical JSON encoding of the scenario: defaults
+// normalised (so Scenario{} and Scenario{N: 8, L: 2, K: 2, ...} encode
+// identically), empty slices folded to null, and fields emitted in fixed
+// declaration order. The encoding is map-free end to end — Scenario and
+// every nested spec are plain structs and slices, and encoding/json emits
+// struct fields in declaration order — so the bytes are deterministic.
+func (s Scenario) Canonical() ([]byte, error) {
+	c := s.withDefaults()
+	// Fold empty-but-non-nil containers onto their nil form so that callers
+	// who write Sources: []Source{} hash identically to those who omit it.
+	if len(c.Quotas) == 0 {
+		c.Quotas = nil
+	}
+	if len(c.Sources) == 0 {
+		c.Sources = nil
+	}
+	if len(c.Churn) == 0 {
+		c.Churn = nil
+	}
+	if c.Fault != nil {
+		f := *c.Fault
+		if len(f.Crashes) == 0 {
+			f.Crashes = nil
+		}
+		if f.Loss != nil {
+			l := *f.Loss
+			f.Loss = &l
+		}
+		c.Fault = &f
+	}
+	if c.Mobility != nil {
+		m := *c.Mobility
+		c.Mobility = &m
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("wrtring: canonical encoding: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding — the scenario's
+// content address. Equal hashes mean equal experiments (spec + seed +
+// protocol parameters), which in turn mean byte-identical results, so the
+// hash is sound as an exact cache key, not an approximate one.
+func (s Scenario) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

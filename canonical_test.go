@@ -1,0 +1,125 @@
+package wrtring
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalNormalisesDefaults(t *testing.T) {
+	// The zero scenario and its fully spelled-out default form are the same
+	// experiment, so they must share one canonical encoding.
+	explicit := Scenario{N: 8, L: 2, K: 2, RangeChords: 2.5, Duration: 20000, H: 4}
+	a, err := Scenario{}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("defaulted forms diverge:\n%s\nvs\n%s", a, b)
+	}
+
+	// Empty containers fold onto nil.
+	c, err := Scenario{Sources: []Source{}, Churn: []ChurnOp{}, Quotas: nil}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatalf("empty slices change the encoding:\n%s\nvs\n%s", a, c)
+	}
+}
+
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	s := Scenario{Fault: &FaultSpec{Crashes: []CrashOp{}}}
+	if _, err := s.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 0 || s.Fault.Crashes == nil {
+		t.Fatalf("Canonical mutated its receiver: %+v", s)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	// Canonical bytes must survive a strict parse and re-canonicalise to the
+	// same bytes — the fixed point every cache key relies on.
+	scenarios := []Scenario{
+		{},
+		{Protocol: TPT, N: 12, H: 6, TTRT: 400},
+		{N: 10, L: 3, K: 2, Seed: 42, EnableRAP: true, AutoRejoin: true,
+			Sources: []Source{
+				{Station: AllStations, Kind: CBR, Class: Premium, Period: 40, Dest: Opposite(), Tagged: true},
+				{Station: 2, Kind: Poisson, Class: Assured, Mean: 30, Dest: Uniform()},
+			},
+			Churn: []ChurnOp{{At: 500, Kind: Kill, Station: 1}},
+			Fault: &FaultSpec{Loss: &LossSpec{Mean: 0.02, BurstLen: 10}},
+		},
+	}
+	for i, s := range scenarios {
+		data, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseScenario(data)
+		if err != nil {
+			t.Fatalf("scenario %d: canonical bytes fail strict parse: %v\n%s", i, err, data)
+		}
+		again, err := parsed.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(again) {
+			t.Fatalf("scenario %d: canonical is not a fixed point:\n%s\nvs\n%s", i, data, again)
+		}
+	}
+}
+
+func TestHashDistinguishesExperiments(t *testing.T) {
+	base := Scenario{N: 8, Seed: 1}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Scenario{
+		"seed":     {N: 8, Seed: 2},
+		"n":        {N: 9, Seed: 1},
+		"protocol": {N: 8, Seed: 1, Protocol: TPT},
+		"loss":     {N: 8, Seed: 1, LossProb: 0.01},
+	} {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+	// And the equivalence direction: a semantically identical scenario with
+	// defaults spelled out hashes the same.
+	same, err := Scenario{N: 8, Seed: 1, L: 2, K: 2, Duration: 20000}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != h0 {
+		t.Fatalf("equivalent scenarios hash differently: %s vs %s", same, h0)
+	}
+}
+
+// TestHashGolden pins the canonical encoding across refactors. If this test
+// fails you have changed the cache-key format: bump internal/serve's key
+// version so stale cached results cannot be served for the new encoding,
+// then update the constants here.
+func TestHashGolden(t *testing.T) {
+	h, err := Scenario{}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 || strings.ToLower(h) != h {
+		t.Fatalf("hash is not lowercase hex sha256: %q", h)
+	}
+	const golden = "9c338536f183fa0bcef3f0a626342c5a14045ff491858f81c8a3679d3d92f8dc"
+	if h != golden {
+		t.Fatalf("canonical encoding changed: hash %s, golden %s", h, golden)
+	}
+}

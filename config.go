@@ -104,10 +104,15 @@ func (d DestSpec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(j)
 }
 
-// UnmarshalJSON parses a destination rule.
+// UnmarshalJSON parses a destination rule. Unknown fields are rejected here
+// explicitly: custom unmarshalers receive raw bytes, so the strict decoder
+// installed by ParseScenario does not see inside this object, and a typo'd
+// destination field would otherwise silently run the wrong workload.
 func (d *DestSpec) UnmarshalJSON(b []byte) error {
 	var j destJSON
-	if err := json.Unmarshal(b, &j); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
 		return err
 	}
 	switch j.Kind {

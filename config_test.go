@@ -88,6 +88,13 @@ func TestParseScenarioErrors(t *testing.T) {
 		`{"Sources": [{"Dest": {"kind": "nowhere"}}]}`,
 		`{not json}`,
 		`{"NoSuchField": 1}`,
+		// Unknown fields nested in sub-specs must fail too, including inside
+		// DestSpec's custom unmarshaler (raw bytes bypass the outer decoder).
+		`{"Sources": [{"Dest": {"kind": "fixed", "station": 3}}]}`,
+		`{"Sources": [{"Period": 40, "Frequency": 40}]}`,
+		`{"Fault": {"Loss": {"Mean": 0.1, "Stddev": 0.2}}}`,
+		`{"Churn": [{"Kind": "kill", "Victim": 2}]}`,
+		`{"Mobility": {"Velocity": 3}}`,
 	}
 	for _, c := range cases {
 		if _, err := ParseScenario([]byte(c)); err == nil {

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,6 +63,25 @@ type Options struct {
 
 // Run executes all jobs and returns their results in submission order.
 func Run(jobs []Job, opts Options) []Result {
+	return RunContext(context.Background(), jobs, opts)
+}
+
+// cancelCheckSlots is how often (in virtual slots) a running simulation
+// polls its context. Advancing the kernel in bounded increments is exactly
+// equivalent to one long advance — events fire in the same order at the
+// same times — so the chunking changes cancellation latency, never results.
+const cancelCheckSlots = 4096
+
+// RunContext is Run with cancellation: when ctx is cancelled, jobs that
+// have not started are skipped and in-flight simulations stop at the next
+// chunk boundary, all reporting ctx's error as their Result.Err. Jobs that
+// completed before the cancellation keep their full, byte-identical
+// results — a finished simulation is a pure value and is never invalidated
+// by how the rest of the batch was torn down.
+func RunContext(ctx context.Context, jobs []Job, opts Options) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := opts.Jobs
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -88,7 +108,7 @@ func Run(jobs []Job, opts Options) []Result {
 
 	if workers <= 1 {
 		for i := range jobs {
-			out[i] = runOne(jobs[i], i)
+			out[i] = runOne(ctx, jobs[i], i)
 			finish(out[i])
 		}
 		return out
@@ -101,7 +121,7 @@ func Run(jobs []Job, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = runOne(jobs[i], i)
+				out[i] = runOne(ctx, jobs[i], i)
 				finish(out[i])
 			}
 		}()
@@ -125,8 +145,10 @@ func RunScenarios(scenarios []wrtring.Scenario, opts Options) []Result {
 }
 
 // runOne executes a single job, converting panics out of the protocol stack
-// into per-job errors.
-func runOne(job Job, index int) (r Result) {
+// into per-job errors. The simulation advances in cancelCheckSlots chunks,
+// polling ctx between chunks, so an abort lands within one chunk of virtual
+// time instead of after the whole run.
+func runOne(ctx context.Context, job Job, index int) (r Result) {
 	r = Result{Job: job, Index: index}
 	start := time.Now()
 	defer func() {
@@ -136,6 +158,10 @@ func runOne(job Job, index int) (r Result) {
 			r.Res = nil
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
 	net, err := wrtring.Build(job.Scenario)
 	if err != nil {
 		r.Err = err
@@ -148,6 +174,22 @@ func runOne(job Job, index int) (r Result) {
 			return r
 		}
 	}
-	r.Res = net.Run()
+	duration := net.Scenario.Duration
+	for elapsed := int64(0); elapsed < duration; {
+		if err := ctx.Err(); err != nil {
+			r.Err = err
+			r.Res = nil
+			return r
+		}
+		step := int64(cancelCheckSlots)
+		if rest := duration - elapsed; rest < step {
+			step = rest
+		}
+		r.Res = net.RunFor(step)
+		elapsed += step
+	}
+	if r.Res == nil { // Duration <= 0: still start and snapshot once
+		r.Res = net.RunFor(0)
+	}
 	return r
 }

@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	wrtring "github.com/rtnet/wrtring"
 )
@@ -117,6 +119,75 @@ func TestSetupHookAndPanicCapture(t *testing.T) {
 	}
 	if results[1].Err == nil || results[2].Err == nil {
 		t.Fatalf("setup error / panic not captured: %v / %v", results[1].Err, results[2].Err)
+	}
+}
+
+// TestCancelPreservesCompletedResults: cancelling a batch mid-flight must
+// not disturb jobs that already finished — their results stay byte-identical
+// to an uncancelled run — and every job not yet finished reports the
+// context's error instead of a partial measurement.
+func TestCancelPreservesCompletedResults(t *testing.T) {
+	jobs := grid()
+	reference := Run(jobs, Options{Jobs: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAfter := 4
+	got := RunContext(ctx, jobs, Options{Jobs: 1, OnProgress: func(done, total int, r Result) {
+		if done == stopAfter {
+			cancel()
+		}
+	}})
+	defer cancel()
+
+	completed := 0
+	for i, r := range got {
+		if r.Err != nil {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("job %d: unexpected error %v", i, r.Err)
+			}
+			if r.Res != nil {
+				t.Fatalf("job %d: cancelled job carries a partial result", i)
+			}
+			continue
+		}
+		completed++
+		a, err := json.Marshal(reference[i].Res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(r.Res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("job %d: completed result diverged after cancellation:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if completed < stopAfter || completed == len(jobs) {
+		t.Fatalf("cancellation completed %d of %d jobs (stop requested at %d)", completed, len(jobs), stopAfter)
+	}
+}
+
+// TestCancelAbortsInFlightRun: a very long simulation stops at a chunk
+// boundary soon after cancellation instead of running to its full duration.
+func TestCancelAbortsInFlightRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []Job{{Name: "long", Scenario: wrtring.Scenario{
+		N: 8, Duration: 2_000_000_000, Seed: 1,
+		Sources: []wrtring.Source{{Station: wrtring.AllStations, Kind: wrtring.CBR,
+			Class: wrtring.Premium, Period: 50, Dest: wrtring.Opposite()}},
+	}}}
+	done := make(chan []Result, 1)
+	go func() { done <- RunContext(ctx, jobs, Options{Jobs: 1}) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case results := <-done:
+		if !errors.Is(results[0].Err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", results[0].Err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
 	}
 }
 

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+func TestKeyVersionedAndStable(t *testing.T) {
+	a, err := Key(wrtring.Scenario{N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(keyVersion)+1+64 || a[:len(keyVersion)+1] != keyVersion+"-" {
+		t.Fatalf("key %q is not version-prefixed hex", a)
+	}
+	// Defaults normalise: the spelled-out equivalent shares the address.
+	b, err := Key(wrtring.Scenario{N: 8, Seed: 1, L: 2, K: 2, Duration: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equivalent scenarios got different keys: %s vs %s", a, b)
+	}
+	c, err := Key(wrtring.Scenario{N: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds share a key")
+	}
+}
+
+func TestCacheLRUAndCounters(t *testing.T) {
+	c := NewCache(3, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(k, []byte(k+"-value"))
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "a-value" {
+		t.Fatalf("get a: %q %v", v, ok)
+	}
+	c.Put("d", []byte("d-value")) // evicts b (a was promoted by the Get)
+	if c.Contains("b") {
+		t.Fatal("b survived past capacity")
+	}
+	if !c.Contains("a") || !c.Contains("c") || !c.Contains("d") {
+		t.Fatal("wrong eviction victim")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if got := s.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio %v", got)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 64)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 16))
+	}
+	s := c.Stats()
+	if s.Bytes > 64 {
+		t.Fatalf("byte bound exceeded: %d", s.Bytes)
+	}
+	if s.Entries != 4 || s.Evictions != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	// A single oversized value still caches (the bound keeps at least one
+	// entry so a huge result is not a permanent miss).
+	c.Put("big", make([]byte, 128))
+	if !c.Contains("big") {
+		t.Fatal("oversized value not cached")
+	}
+}
+
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("peek miss")
+	}
+	if _, ok := c.Peek("zzz"); ok {
+		t.Fatal("peek hit on absent key")
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("peek moved the counters: %+v", s)
+	}
+}

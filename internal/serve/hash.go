@@ -1,0 +1,34 @@
+// Package serve turns the one-shot simulation repository into a long-running
+// scenario service: a bounded admission-controlled job queue dispatching onto
+// the internal/runner worker pool, a content-addressed LRU result cache, and
+// an HTTP/JSON front end (cmd/wrtserved).
+//
+// The whole design leans on one property established by the runner and the
+// kernel: a (scenario, seed) pair is a pure value. Every simulation is
+// driven by a discrete-event kernel and RNGs split deterministically from
+// Scenario.Seed, so re-running an identical spec reproduces the identical
+// Result byte for byte. That makes caching exact — a hit returns precisely
+// the bytes a fresh run would produce — and makes coalescing sound: two
+// clients submitting the same spec can share one execution.
+package serve
+
+import wrtring "github.com/rtnet/wrtring"
+
+// keyVersion tags cache keys with the canonical-encoding generation. Bump it
+// whenever Scenario.Canonical's byte format changes (the golden test in
+// canonical_test.go pins it) so a redeployed server can never serve a result
+// cached under the old encoding for a new-encoding request.
+const keyVersion = "v1"
+
+// Key returns the content address of a scenario: the version-tagged hex
+// SHA-256 of its canonical encoding. The key doubles as the public run ID —
+// identical submissions share an ID by construction, which is what lets
+// duplicate requests coalesce onto one in-flight job and lets GET hit the
+// cache directly after the job record is gone.
+func Key(s wrtring.Scenario) (string, error) {
+	h, err := s.Hash()
+	if err != nil {
+		return "", err
+	}
+	return keyVersion + "-" + h, nil
+}

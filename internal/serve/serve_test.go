@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+func postRuns(t *testing.T, base string, scenarios []wrtring.Scenario) (int, submitResponse) {
+	t.Helper()
+	var req submitRequest
+	for _, s := range scenarios {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Scenarios = append(req.Scenarios, b)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getStatus(t *testing.T, base, id string) (int, statusResponse) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func waitDone(t *testing.T, base, id string) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getStatus(t, base, id)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		switch st.Status {
+		case "done":
+			return st
+		case "failed", "dropped":
+			t.Fatalf("job %s ended %s: %s", id, st.Status, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return statusResponse{}
+}
+
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	re := regexp.MustCompile(`^([a-z_]+(?:\{[^}]*\})?) ([-0-9.]+)$`)
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := re.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				t.Fatalf("metric line %q: %v", line, err)
+			}
+			out[m[1]] = v
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no metrics parsed from:\n%s", data)
+	}
+	return out
+}
+
+// TestServiceEndToEnd is the acceptance scenario: a batch submitted
+// concurrently over HTTP runs once per distinct spec, the results match a
+// fresh local run byte for byte, and resubmitting the batch is served
+// entirely from cache with zero new jobs.
+func TestServiceEndToEnd(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueCapacity: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	batch := []wrtring.Scenario{fastScenario(1), fastScenario(2), fastScenario(3), fastScenario(4)}
+
+	// Three clients submit the same batch at once: every spec must land
+	// exactly one job (queued by whoever got there first, coalesced or
+	// cached for the rest), never two.
+	const clients = 3
+	responses := make([]submitResponse, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			code, resp := postRuns(t, ts.URL, batch)
+			if code != http.StatusOK {
+				t.Errorf("client %d: HTTP %d", c, code)
+			}
+			responses[c] = resp
+		}(c)
+	}
+	wg.Wait()
+
+	ids := make([]string, len(batch))
+	for c, resp := range responses {
+		if len(resp.Runs) != len(batch) {
+			t.Fatalf("client %d: %d runs for %d scenarios", c, len(resp.Runs), len(batch))
+		}
+		for i, run := range resp.Runs {
+			switch run.Status {
+			case SubmitQueued, SubmitCoalesced, SubmitCached:
+			default:
+				t.Fatalf("client %d run %d: status %q (%s)", c, i, run.Status, run.Error)
+			}
+			if ids[i] == "" {
+				ids[i] = run.ID
+			} else if ids[i] != run.ID {
+				t.Fatalf("clients disagree on run %d's ID: %s vs %s", i, ids[i], run.ID)
+			}
+		}
+	}
+
+	// Exactly one execution per distinct spec despite 12 submissions.
+	served := make([]statusResponse, len(batch))
+	for i, id := range ids {
+		served[i] = waitDone(t, ts.URL, id)
+	}
+	qs := srv.Queue().Stats()
+	if qs.Admitted != int64(len(batch)) {
+		t.Fatalf("admitted %d jobs for %d distinct specs", qs.Admitted, len(batch))
+	}
+	if qs.Coalesced+srv.Cache().Stats().Hits != int64((clients-1)*len(batch)) {
+		t.Fatalf("duplicates unaccounted: stats %+v, cache %+v", qs, srv.Cache().Stats())
+	}
+
+	// Served bytes are exactly what a fresh local run of the same spec
+	// produces — the determinism the cache's exactness rests on.
+	for i, s := range batch {
+		res, err := wrtring.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(local) != string(served[i].Result) {
+			t.Fatalf("scenario %d: served result differs from a fresh run:\n%s\nvs\n%s",
+				i, served[i].Result, local)
+		}
+	}
+
+	// Second pass: the whole batch is a cache hit; no new jobs execute.
+	hitsBefore := srv.Cache().Stats().Hits
+	code, resp := postRuns(t, ts.URL, batch)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	for i, run := range resp.Runs {
+		if run.Status != SubmitCached {
+			t.Fatalf("resubmitted run %d: status %q, want cached", i, run.Status)
+		}
+		if run.ID != ids[i] {
+			t.Fatalf("resubmitted run %d changed ID", i)
+		}
+	}
+	if after := srv.Queue().Stats(); after.Admitted != qs.Admitted {
+		t.Fatalf("resubmission executed new jobs: %d -> %d", qs.Admitted, after.Admitted)
+	}
+	if hits := srv.Cache().Stats().Hits; hits != hitsBefore+int64(len(batch)) {
+		t.Fatalf("cache hits %d, want %d", hits, hitsBefore+int64(len(batch)))
+	}
+	// And the cached pass returns the identical bytes.
+	for i, id := range ids {
+		st := waitDone(t, ts.URL, id)
+		if string(st.Result) != string(served[i].Result) {
+			t.Fatalf("run %d: cached bytes changed", i)
+		}
+	}
+}
+
+// TestServiceDrainMidBatch is the shutdown acceptance scenario: a drain in
+// the middle of a slow batch finishes what it can within the deadline,
+// drops the rest, and the /metrics accounting balances.
+func TestServiceDrainMidBatch(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var batch []wrtring.Scenario
+	for seed := uint64(1); seed <= 5; seed++ {
+		batch = append(batch, slowScenario(seed))
+	}
+	code, resp := postRuns(t, ts.URL, batch)
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	report := srv.Drain(100 * time.Millisecond)
+	if !report.DeadlineExceeded || report.Dropped == 0 {
+		t.Fatalf("drain did not hit the deadline: %+v", report)
+	}
+
+	// Submissions after drain are refused with 503.
+	code, _ = postRuns(t, ts.URL, []wrtring.Scenario{fastScenario(99)})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: HTTP %d", code)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	admitted := m["wrtserved_admitted_total"]
+	balance := m["wrtserved_completed_total"] + m["wrtserved_failed_total"] + m["wrtserved_dropped_total"]
+	if admitted != float64(len(batch)) || admitted != balance {
+		t.Fatalf("metrics accounting imbalance: admitted=%v completed+failed+dropped=%v\n%v", admitted, balance, m)
+	}
+	if m["wrtserved_queue_depth"] != 0 || m["wrtserved_inflight"] != 0 || m["wrtserved_draining"] != 1 {
+		t.Fatalf("post-drain gauges wrong: %v", m)
+	}
+
+	// Every submitted job is still queryable with a terminal state.
+	for _, run := range resp.Runs {
+		code, st := getStatus(t, ts.URL, run.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status after drain: HTTP %d", code)
+		}
+		switch st.Status {
+		case "done", "dropped", "failed":
+		default:
+			t.Fatalf("job %s left in state %q", run.ID, st.Status)
+		}
+		if st.Status == "dropped" && st.Error == "" {
+			t.Fatal("dropped job carries no explanation")
+		}
+	}
+}
+
+// TestServiceTraceStatusPath polls a Trace-enabled run's live journal total
+// over HTTP while the simulation records into it — the concurrent Recorder
+// path that internal/trace's lock exists for (race-checked by make race).
+func TestServiceTraceStatusPath(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	s := slowScenario(42)
+	s.Trace = true
+	code, resp := postRuns(t, ts.URL, []wrtring.Scenario{s})
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	id := resp.Runs[0].ID
+	var liveReads, lastSeen uint64
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		_, st := getStatus(t, ts.URL, id)
+		if st.Status == "running" {
+			liveReads++
+			if st.TraceEvents < lastSeen {
+				t.Fatalf("journal total went backwards: %d -> %d", lastSeen, st.TraceEvents)
+			}
+			lastSeen = st.TraceEvents
+		}
+		if st.Status == "done" {
+			if st.TraceEvents == 0 {
+				t.Fatal("trace-enabled run recorded no events")
+			}
+			if liveReads == 0 {
+				t.Log("run finished before any mid-flight status read (slow machine?); concurrency not exercised")
+			}
+			return
+		}
+		if st.Status == "failed" || st.Status == "dropped" {
+			t.Fatalf("job ended %s: %s", st.Status, st.Error)
+		}
+	}
+	t.Fatal("traced job never finished")
+}
+
+func TestServiceRequestValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4, MaxBatch: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"scenarios": []}`); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: HTTP %d", code)
+	}
+	if code := post(`{"scenarioz": [{}]}`); code != http.StatusBadRequest {
+		t.Fatalf("typo'd envelope field: HTTP %d", code)
+	}
+	if code := post(`{"scenarios": [{"N": 8, "Sede": 1}]}`); code != http.StatusBadRequest {
+		t.Fatalf("typo'd scenario field: HTTP %d", code)
+	}
+	if code := post(`{"scenarios": [{}, {}, {}]}`); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: HTTP %d", code)
+	}
+	if code := post(`not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: HTTP %d", code)
+	}
+	// A mixed batch reports per-item outcomes with an overall 400.
+	good, err := json.Marshal(fastScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"scenarios": [%s, {"Bogus": 1}]}`, good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch: HTTP %d", resp.StatusCode)
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Runs[0].Status != SubmitQueued || out.Runs[1].Status != "invalid" {
+		t.Fatalf("mixed batch outcomes: %+v", out.Runs)
+	}
+
+	if code, _ := getStatus(t, ts.URL, "v1-"+strings.Repeat("0", 64)); code != http.StatusNotFound {
+		t.Fatalf("unknown ID: HTTP %d", code)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the simulation worker count (<= 0: one per CPU).
+	Workers int
+	// QueueCapacity bounds admitted-but-unstarted jobs (<= 0: 256).
+	QueueCapacity int
+	// CacheEntries / CacheBytes bound the result cache (see NewCache).
+	CacheEntries int
+	CacheBytes   int64
+	// MaxBatch bounds scenarios per POST /v1/runs request (<= 0: 256).
+	MaxBatch int
+	// MaxBodyBytes bounds the request body (<= 0: 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP/JSON front end over the queue and cache.
+//
+// Endpoints:
+//
+//	POST /v1/runs      submit a batch of scenarios; per-item job IDs
+//	GET  /v1/runs/{id} job status and, when done, the result
+//	GET  /healthz      liveness
+//	GET  /metrics      text counters (queue, cache, latency quantiles)
+type Server struct {
+	queue        *Queue
+	cache        *Cache
+	maxBatch     int
+	maxBodyBytes int64
+	mux          *http.ServeMux
+}
+
+// New builds a Server and starts its queue workers.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	cache := NewCache(cfg.CacheEntries, cfg.CacheBytes)
+	s := &Server{
+		queue:        NewQueue(cache, cfg.QueueCapacity, cfg.Workers),
+		cache:        cache,
+		maxBatch:     cfg.MaxBatch,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		mux:          http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queue exposes the job queue (metrics, tests, shutdown).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Cache exposes the result cache (metrics, tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Drain gracefully shuts the queue down; see Queue.Drain. The HTTP listener
+// itself is the caller's to stop (http.Server.Shutdown in cmd/wrtserved).
+func (s *Server) Drain(timeout time.Duration) DrainReport {
+	return s.queue.Drain(timeout)
+}
+
+// submitRequest is the POST /v1/runs body. Scenarios are kept raw so each
+// one is parsed strictly (unknown fields rejected) with a per-item error.
+type submitRequest struct {
+	Scenarios []json.RawMessage `json:"scenarios"`
+}
+
+// submitRun is one entry of the POST /v1/runs response.
+type submitRun struct {
+	ID string `json:"id,omitempty"`
+	// Status is queued | cached | coalesced | rejected | invalid.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+type submitResponse struct {
+	Runs []submitRun `json:"runs"`
+}
+
+// statusResponse is the GET /v1/runs/{id} body.
+type statusResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	// Coalesced counts duplicate submissions folded onto this job.
+	Coalesced int64 `json:"coalesced,omitempty"`
+	// TraceEvents is the live journal size for Trace-enabled scenarios.
+	TraceEvents uint64 `json:"traceEvents,omitempty"`
+	ElapsedMs   int64  `json:"elapsedMs,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Result is the simulation's wrtring.Result JSON, present when done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		httpError(w, http.StatusBadRequest, "no scenarios in request")
+		return
+	}
+	if len(req.Scenarios) > s.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-scenario limit", len(req.Scenarios), s.maxBatch))
+		return
+	}
+
+	resp := submitResponse{Runs: make([]submitRun, len(req.Scenarios))}
+	status := http.StatusOK
+	rejected := false
+	for i, raw := range req.Scenarios {
+		scenario, err := wrtring.ParseScenario(raw)
+		if err != nil {
+			resp.Runs[i] = submitRun{Status: "invalid", Error: err.Error()}
+			status = http.StatusBadRequest
+			continue
+		}
+		id, outcome, err := s.queue.Submit(scenario)
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+			return
+		case errors.Is(err, ErrQueueFull):
+			resp.Runs[i] = submitRun{ID: id, Status: "rejected", Error: err.Error()}
+			rejected = true
+		case err != nil:
+			resp.Runs[i] = submitRun{Status: "invalid", Error: err.Error()}
+			status = http.StatusBadRequest
+		default:
+			resp.Runs[i] = submitRun{ID: id, Status: outcome}
+		}
+	}
+	if rejected && status == http.StatusOK {
+		// Partial admission: the client should retry the rejected items.
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.queue.Status(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			"unknown run ID (never submitted, or its record and cached result have been evicted; resubmit the scenario)")
+		return
+	}
+	resp := statusResponse{
+		ID: st.ID, Status: st.State.String(), Cached: st.Cached,
+		Coalesced: st.Coalesced, TraceEvents: st.TraceEvents,
+		ElapsedMs: st.Elapsed.Milliseconds(), Error: st.Err,
+	}
+	if st.State == StateDone {
+		if data, ok := s.queue.Result(id); ok {
+			resp.Result = data
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics writes a Prometheus-style text exposition of the queue,
+// cache and latency counters. Hand-rolled on purpose: no client library in
+// the module, and the format is a stable line protocol.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	qs := s.queue.Stats()
+	cs := s.cache.Stats()
+	var b bytes.Buffer
+	writeMetric := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(&b, "%s %v\n", name, v)
+	}
+	writeMetric("wrtserved_queue_depth", qs.Depth, "jobs admitted but not yet running")
+	writeMetric("wrtserved_inflight", qs.Running, "jobs currently executing")
+	writeMetric("wrtserved_draining", boolMetric(qs.Draining), "1 while graceful shutdown is in progress")
+	writeMetric("wrtserved_admitted_total", qs.Admitted, "jobs accepted into the queue")
+	writeMetric("wrtserved_completed_total", qs.Completed, "jobs finished with a result")
+	writeMetric("wrtserved_failed_total", qs.Failed, "jobs finished with an error")
+	writeMetric("wrtserved_dropped_total", qs.Dropped, "jobs abandoned during shutdown")
+	writeMetric("wrtserved_rejected_total", qs.Rejected, "submissions refused by admission control")
+	writeMetric("wrtserved_coalesced_total", qs.Coalesced, "duplicate submissions folded onto in-flight jobs")
+	writeMetric("wrtserved_cache_hits_total", cs.Hits, "admission-path cache hits")
+	writeMetric("wrtserved_cache_misses_total", cs.Misses, "admission-path cache misses")
+	writeMetric("wrtserved_cache_evictions_total", cs.Evictions, "results evicted by LRU bounds")
+	writeMetric("wrtserved_cache_entries", cs.Entries, "results currently cached")
+	writeMetric("wrtserved_cache_bytes", cs.Bytes, "bytes of cached result payload")
+	writeMetric("wrtserved_cache_hit_ratio", fmt.Sprintf("%.6f", cs.HitRatio()), "hits / (hits + misses)")
+	for _, ls := range s.queue.LatencySnapshot() {
+		label := fmt.Sprintf(`protocol=%q`, ls.Protocol)
+		fmt.Fprintf(&b, "# HELP wrtserved_job_latency_ms completed-job wall-clock latency (internal/stats histogram)\n")
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms_count{%s} %d\n", label, ls.N)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms_mean{%s} %.3f\n", label, ls.MeanMs)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.5\"} %d\n", label, ls.P50Ms)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.9\"} %d\n", label, ls.P90Ms)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.99\"} %d\n", label, ls.P99Ms)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms_max{%s} %d\n", label, ls.MaxMs)
+		fmt.Fprintf(&b, "wrtserved_job_latency_ms_overflowed{%s} %d\n", label, ls.Overflowed)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
+func boolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -3,6 +3,12 @@
 // records with per-kind counting and filtering. Protocol packages emit
 // events through a nil-safe Recorder pointer, so tracing costs nothing when
 // disabled and never changes protocol behaviour.
+//
+// Recorder is safe for concurrent use: the simulation goroutine records
+// while observers (the wrtserved status path, progress reporters) read
+// totals and snapshots. A single mutex suffices — recording is a few field
+// writes, and readers take snapshot copies rather than holding the lock
+// while formatting.
 package trace
 
 import (
@@ -10,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind labels an event class ("sat.seize", "rec.heal", "join.done", ...).
@@ -36,12 +43,14 @@ func (e Event) String() string {
 // Recorder is a bounded journal. The zero value is unusable; create with
 // NewRecorder. All methods are nil-safe so call sites never need guards.
 type Recorder struct {
-	cap    int
-	buf    []Event
-	start  int
-	total  uint64
-	counts map[Kind]uint64
-	only   map[Kind]bool
+	mu          sync.Mutex
+	cap         int
+	buf         []Event
+	start       int
+	total       uint64
+	overwritten uint64
+	counts      map[Kind]uint64
+	only        map[Kind]bool
 }
 
 // NewRecorder creates a journal that retains the most recent capacity
@@ -59,6 +68,8 @@ func (r *Recorder) Only(kinds ...Kind) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(kinds) == 0 {
 		r.only = nil
 		return
@@ -74,6 +85,8 @@ func (r *Recorder) Record(t int64, kind Kind, a, b int64, note string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.total++
 	r.counts[kind]++
 	if r.only != nil && !r.only[kind] {
@@ -84,6 +97,7 @@ func (r *Recorder) Record(t int64, kind Kind, a, b int64, note string) {
 		r.buf = append(r.buf, e)
 		return
 	}
+	r.overwritten++
 	r.buf[r.start] = e
 	r.start = (r.start + 1) % r.cap
 }
@@ -94,7 +108,21 @@ func (r *Recorder) Total() uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.total
+}
+
+// Overwritten returns how many retained events the ring buffer has
+// discarded to make room for newer ones — the journal's overflow count.
+// Events() is complete exactly when Overwritten() == 0.
+func (r *Recorder) Overwritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwritten
 }
 
 // Count returns how many events of a kind were seen.
@@ -102,14 +130,22 @@ func (r *Recorder) Count(kind Kind) uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.counts[kind]
 }
 
-// Events returns the retained events in chronological order.
+// Events returns a snapshot of the retained events in chronological order.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsLocked()
+}
+
+func (r *Recorder) eventsLocked() []Event {
 	out := make([]Event, 0, len(r.buf))
 	for i := 0; i < len(r.buf); i++ {
 		out = append(out, r.buf[(r.start+i)%len(r.buf)])
@@ -133,20 +169,27 @@ func (r *Recorder) Dump(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, e := range r.Events() {
+	r.mu.Lock()
+	events := r.eventsLocked()
+	counts := make(map[Kind]uint64, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	r.mu.Unlock()
+	for _, e := range events {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return err
 		}
 	}
-	kinds := make([]string, 0, len(r.counts))
-	for k := range r.counts {
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
 		kinds = append(kinds, string(k))
 	}
 	sort.Strings(kinds)
 	var b strings.Builder
 	b.WriteString("-- counts:")
 	for _, k := range kinds {
-		fmt.Fprintf(&b, " %s=%d", k, r.counts[Kind(k)])
+		fmt.Fprintf(&b, " %s=%d", k, counts[Kind(k)])
 	}
 	_, err := fmt.Fprintln(w, b.String())
 	return err

@@ -121,3 +121,74 @@ func TestChronologyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOverwrittenCounting(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 3; i++ {
+		r.Record(i, SATForward, i, 0, "")
+	}
+	if r.Overwritten() != 0 {
+		t.Fatalf("overflow before the buffer filled: %d", r.Overwritten())
+	}
+	for i := int64(3); i < 10; i++ {
+		r.Record(i, SATForward, i, 0, "")
+	}
+	if r.Overwritten() != 6 {
+		t.Fatalf("overwritten %d, want 6", r.Overwritten())
+	}
+	// Filtered-out events never occupy the ring, so they cannot overflow it.
+	r.Only(SATLost)
+	for i := int64(10); i < 20; i++ {
+		r.Record(i, SATForward, i, 0, "")
+	}
+	if r.Overwritten() != 6 {
+		t.Fatalf("filtered events counted as overflow: %d", r.Overwritten())
+	}
+	if (*Recorder)(nil).Overwritten() != 0 {
+		t.Fatal("nil recorder overflow")
+	}
+}
+
+// TestConcurrentRecordAndInspect models the wrtserved status path: the
+// simulation goroutine records while HTTP handlers read totals, counts and
+// snapshots. Run under -race (make race), this must be clean.
+func TestConcurrentRecordAndInspect(t *testing.T) {
+	r := NewRecorder(64)
+	const writes = 5000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < writes; i++ {
+			r.Record(i, SATForward, i%7, i%3, "")
+			if i%100 == 0 {
+				r.Record(i, SATLost, i%7, 0, "status probe")
+			}
+		}
+	}()
+	var sink strings.Builder
+	for probes := 0; ; probes++ {
+		_ = r.Total()
+		_ = r.Count(SATForward)
+		_ = r.Overwritten()
+		evs := r.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i-1].T > evs[i].T {
+				t.Fatalf("snapshot out of order at probe %d: %v", probes, evs)
+			}
+		}
+		if probes%10 == 0 {
+			sink.Reset()
+			if err := r.Dump(&sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+		select {
+		case <-done:
+			if r.Total() != writes+writes/100 {
+				t.Fatalf("total %d, want %d", r.Total(), writes+writes/100)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package traffic
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []Kind{CBR, Poisson, OnOff, VBR} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+}
+
+func TestKindJSONRejectsGarbage(t *testing.T) {
+	// A typo'd or wrongly typed kind must fail loudly, not default to CBR
+	// and silently run the wrong arrival process.
+	for _, bad := range []string{`"telepathy"`, `"CBR"`, `""`, `3`, `null`, `{"kind":"cbr"}`} {
+		var k Kind
+		if err := json.Unmarshal([]byte(bad), &k); err == nil {
+			t.Errorf("accepted %s as %v", bad, k)
+		}
+	}
+}
