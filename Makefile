@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments serve clean
+.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments serve cluster-smoke clean
 
 all: build vet test
 
@@ -52,6 +52,13 @@ experiments:
 PORT ?= 8080
 serve:
 	$(GO) run ./cmd/wrtserved -addr :$(PORT)
+
+# cluster-smoke boots a wrtcoord coordinator + 3 wrtserved workers, runs a
+# tiny sweep grid through the cluster twice, and asserts the second pass is
+# served entirely from the fleet's cache shards (see README "Running a
+# cluster").
+cluster-smoke:
+	scripts/cluster-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -37,12 +37,13 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "max cached result bytes (0 = entries bound only)")
 	maxBatch := flag.Int("max-batch", 256, "max scenarios per submission")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
+	workerID := flag.String("id", "", "worker identity when serving behind a wrtcoord cluster (surfaced on /healthz, /metrics, /v1/stats)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
 		Workers: *workers, QueueCapacity: *queueCap,
 		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
-		MaxBatch: *maxBatch,
+		MaxBatch: *maxBatch, WorkerID: *workerID,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -55,8 +56,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("wrtserved: listening on %s (workers=%d queue=%d cache=%d entries)",
-			*addr, *workers, *queueCap, *cacheEntries)
+		label := ""
+		if *workerID != "" {
+			label = " as worker " + *workerID
+		}
+		log.Printf("wrtserved: listening on %s%s (workers=%d queue=%d cache=%d entries)",
+			*addr, label, *workers, *queueCap, *cacheEntries)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 			return

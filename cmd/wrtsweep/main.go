@@ -6,17 +6,28 @@
 //	wrtsweep -over n -values 5,10,20,50 -protocols both
 //	wrtsweep -over seed -values 1,2,3,4,5 -n 16 -load saturate
 //	wrtsweep -over quota -values 1:1,2:2,4:2 -n 12
+//
+// With -server the grid is executed remotely against a wrtserved instance
+// or a wrtcoord cluster (both speak the same /v1/runs API), so repeated
+// sweeps hit the service's content-addressed cache instead of re-simulating:
+//
+//	wrtsweep -over n -values 5,10,20,50 -server http://localhost:8090
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/serve"
 	"github.com/rtnet/wrtring/sweep"
 )
 
@@ -33,6 +44,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"parallel simulation workers; 1 reproduces the serial run byte-for-byte")
 	progress := flag.Bool("progress", false, "report per-run completion on stderr")
+	server := flag.String("server", "",
+		"run the sweep remotely against a wrtserved or wrtcoord URL instead of in-process")
 	flag.Parse()
 
 	base := wrtring.Scenario{N: *n, L: *l, K: *k, Seed: *seed, Duration: *dur}
@@ -114,13 +127,97 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, o.Point.Name, status)
 		}
 	}
-	outs := sweep.RunProgress(pts, *jobs, onDone)
+	var outs []sweep.Outcome
+	if *server != "" {
+		outs = runRemote(*server, pts, onDone)
+	} else {
+		outs = sweep.RunProgress(pts, *jobs, onDone)
+	}
 	fmt.Print(sweep.CSV(outs))
 	for _, o := range outs {
 		if o.Err != nil {
 			os.Exit(1)
 		}
 	}
+}
+
+// runRemote executes the sweep against a scenario service — a single
+// wrtserved or a wrtcoord cluster, which speak the same /v1/runs protocol.
+// Points are submitted as one batch (rejected items are retried after the
+// service's backpressure hint), then polled to completion in input order.
+// Determinism makes the remote results byte-identical to local execution,
+// so the CSV is the same either way — repeated grids just stop costing
+// simulation time once the service's cache holds them.
+func runRemote(serverURL string, pts []sweep.Point, onDone func(done, total int, o sweep.Outcome)) []sweep.Outcome {
+	client := serve.NewClient(serverURL)
+	ctx := context.Background()
+
+	outs := make([]sweep.Outcome, len(pts))
+	ids := make([]string, len(pts))
+	pending := make([]int, len(pts)) // indices awaiting admission
+	for i := range pts {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		batch := make([]wrtring.Scenario, len(pending))
+		for i, idx := range pending {
+			batch[i] = pts[idx].Scenario
+		}
+		code, resp, err := client.SubmitScenarios(ctx, batch)
+		if err != nil {
+			fail("submitting to %s: %v", serverURL, err)
+		}
+		if resp == nil || len(resp.Runs) != len(pending) {
+			fail("submitting to %s: HTTP %d with malformed response", serverURL, code)
+		}
+		var retry []int
+		for i, run := range resp.Runs {
+			idx := pending[i]
+			switch run.Status {
+			case "rejected":
+				retry = append(retry, idx)
+			case "invalid":
+				outs[idx].Point = pts[idx]
+				outs[idx].Err = errors.New(run.Error)
+			default:
+				ids[idx] = run.ID
+			}
+		}
+		if len(retry) > 0 {
+			// The service is saturated; honour its standard backpressure hint.
+			time.Sleep(serve.DefaultRetryAfter)
+		}
+		pending = retry
+	}
+
+	done := 0
+	for idx, p := range pts {
+		outs[idx].Point = p
+		if ids[idx] == "" {
+			continue // invalid at submission; Err already set
+		}
+		st, err := client.Wait(ctx, ids[idx], 20*time.Millisecond)
+		switch {
+		case err != nil:
+			outs[idx].Err = err
+		case st.Status != "done":
+			outs[idx].Err = fmt.Errorf("remote run %s: %s", st.Status, st.Error)
+		case st.Result == nil:
+			outs[idx].Err = fmt.Errorf("remote run done but result unavailable: %s", st.Error)
+		default:
+			var res wrtring.Result
+			if err := json.Unmarshal(st.Result, &res); err != nil {
+				outs[idx].Err = fmt.Errorf("decoding remote result: %w", err)
+			} else {
+				outs[idx].Result = &res
+			}
+		}
+		done++
+		if onDone != nil {
+			onDone(done, len(pts), outs[idx])
+		}
+	}
+	return outs
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/serve"
+	"github.com/rtnet/wrtring/internal/stats"
+)
+
+// WorkerSpec names one wrtserved worker in the fleet.
+type WorkerSpec struct {
+	// ID labels the worker on the hash ring and in metrics.
+	ID string
+	// URL is the worker's base URL (http://host:port).
+	URL string
+}
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Workers is the fleet (at least one).
+	Workers []WorkerSpec
+	// MaxPerWorker bounds outstanding jobs (queued + running) per worker;
+	// submissions beyond it are rejected with 429 (<= 0: 32). This is the
+	// queue-depth-aware backpressure: a spec's shard being saturated means
+	// the cluster as a whole asks the client to back off, because cache
+	// affinity forbids spilling the spec onto an arbitrary idle worker.
+	MaxPerWorker int
+	// MaxInflight bounds concurrent dispatches per worker (<= 0: 4).
+	MaxInflight int
+	// Replicas is the virtual-node count per worker (<= 0: DefaultReplicas).
+	Replicas int
+	// PollInterval paces job-completion polling (<= 0: 20 ms).
+	PollInterval time.Duration
+	// HealthInterval paces liveness probing (<= 0: 1 s).
+	HealthInterval time.Duration
+	// ProbeBackoffMax caps the ejected-worker readmission backoff, which
+	// doubles from HealthInterval per consecutive failure (<= 0: 30 s).
+	ProbeBackoffMax time.Duration
+	// RequestTimeout bounds each worker HTTP call (<= 0: 10 s).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per job before it fails
+	// (<= 0: 3 × worker count).
+	MaxAttempts int
+	// MaxBatch / MaxBodyBytes / RetryAfter mirror serve.Config.
+	MaxBatch     int
+	MaxBodyBytes int64
+	RetryAfter   time.Duration
+	// FinishedRecords bounds retained terminal job records
+	// (<= 0: serve.DefaultFinishedRecords).
+	FinishedRecords int
+	// Logf receives operational events (ejections, readmissions,
+	// redispatches); nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Admission errors (the coordinator analogues of serve's).
+var (
+	// ErrSaturated rejects a submission because the spec's shard — the hash
+	// ring owner and by extension the cluster for this key — has no room
+	// (HTTP 429 + Retry-After).
+	ErrSaturated = errors.New("cluster: shard saturated")
+	// ErrDraining rejects a submission during coordinator shutdown (503).
+	ErrDraining = errors.New("cluster: coordinator is draining")
+	// ErrNoWorkers rejects a submission while every worker is ejected (503).
+	ErrNoWorkers = errors.New("cluster: no live workers")
+)
+
+// clusterJob is the coordinator's record of one admitted spec. state,
+// workerID, attempts, coalesced and the terminal fields are guarded by
+// Coordinator.mu; scenario is immutable between admission and terminal
+// transition (where it is released).
+type clusterJob struct {
+	id           string
+	scenario     wrtring.Scenario
+	state        serve.State
+	workerID     string
+	attempts     int
+	coalesced    int64
+	remoteCached bool
+	errMsg       string
+	elapsed      time.Duration
+}
+
+// Coordinator fans /v1/runs submissions out to the worker fleet with
+// cache-affine consistent-hash dispatch and redispatch-on-death failover.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	workers map[string]*worker
+	order   []*worker // config order, for stable metrics/iteration
+	mux     *http.ServeMux
+	logf    func(format string, args ...any)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu            sync.Mutex
+	draining      bool
+	jobs          map[string]*clusterJob
+	finishedOrder []string
+	finishedCap   int
+
+	admitted, completed, failed, dropped int64
+	rejected, coalesced                  int64
+	redispatched, remoteCacheHits        int64
+	latency                              map[string]*stats.Histogram // by worker ID
+}
+
+// ClusterStats is a point-in-time snapshot of the coordinator counters.
+// The conservation law Admitted == Completed + Failed + Dropped holds once
+// the coordinator is drained.
+type ClusterStats struct {
+	Admitted, Completed, Failed, Dropped int64
+	Rejected, Coalesced                  int64
+	// Redispatched counts job moves to another worker after a dispatch,
+	// poll or health failure.
+	Redispatched int64
+	// RemoteCacheHits counts dispatches a worker answered from its shard of
+	// the cluster cache without running anything.
+	RemoteCacheHits int64
+	LiveWorkers     int
+	Draining        bool
+}
+
+// New builds a coordinator over the fleet and starts its dispatchers and
+// health prober.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	if cfg.MaxPerWorker <= 0 {
+		cfg.MaxPerWorker = 32
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.ProbeBackoffMax <= 0 {
+		cfg.ProbeBackoffMax = 30 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3 * len(cfg.Workers)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = serve.DefaultRetryAfter
+	}
+	if cfg.FinishedRecords <= 0 {
+		cfg.FinishedRecords = serve.DefaultFinishedRecords
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+
+	ids := make([]string, 0, len(cfg.Workers))
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:         cfg,
+		workers:     make(map[string]*worker, len(cfg.Workers)),
+		mux:         http.NewServeMux(),
+		logf:        cfg.Logf,
+		ctx:         ctx,
+		cancel:      cancel,
+		jobs:        make(map[string]*clusterJob),
+		finishedCap: cfg.FinishedRecords,
+		latency:     make(map[string]*stats.Histogram),
+	}
+	// A job channel can hold at most every outstanding job in the cluster
+	// (redispatch conserves the total, admission bounds it), so this cap
+	// makes every enqueue non-blocking by construction.
+	chanCap := len(cfg.Workers)*cfg.MaxPerWorker + 16
+	for _, spec := range cfg.Workers {
+		if spec.ID == "" || spec.URL == "" {
+			cancel()
+			return nil, fmt.Errorf("cluster: worker spec %+v needs both ID and URL", spec)
+		}
+		if _, dup := c.workers[spec.ID]; dup {
+			cancel()
+			return nil, fmt.Errorf("cluster: duplicate worker ID %q", spec.ID)
+		}
+		w := newWorker(spec, chanCap, cfg.RequestTimeout)
+		c.workers[spec.ID] = w
+		c.order = append(c.order, w)
+		ids = append(ids, spec.ID)
+	}
+	c.ring = NewRing(ids, cfg.Replicas)
+
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	for _, w := range c.order {
+		for i := 0; i < cfg.MaxInflight; i++ {
+			c.wg.Add(1)
+			go c.runWorker(w)
+		}
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Submit admits one scenario: it is routed to its hash-ring owner, coalesced
+// onto an identical in-flight job, or answered from coordinator memory when
+// already done. The returned outcome strings match serve's.
+func (c *Coordinator) Submit(s wrtring.Scenario) (id, outcome string, err error) {
+	id, err = serve.Key(s)
+	if err != nil {
+		return "", "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		c.rejected++
+		return id, "", ErrDraining
+	}
+	if j, ok := c.jobs[id]; ok {
+		switch j.state {
+		case serve.StateQueued, serve.StateRunning:
+			j.coalesced++
+			c.coalesced++
+			return id, serve.SubmitCoalesced, nil
+		case serve.StateDone:
+			// The job completed on its owner, whose cache shard holds the
+			// bytes; GET /v1/runs/{id} proxies them from there.
+			return id, serve.SubmitCached, nil
+		default:
+			// failed or dropped: re-admit below (determinism makes a retry
+			// produce the identical result — or the identical error).
+			c.unretireLocked(id)
+		}
+	}
+	owner, ok := c.ownerLocked(id)
+	if !ok {
+		c.rejected++
+		return id, "", ErrNoWorkers
+	}
+	if owner.queueDepth() >= c.cfg.MaxPerWorker {
+		c.rejected++
+		return id, "", ErrSaturated
+	}
+	j := &clusterJob{id: id, scenario: s, state: serve.StateQueued, workerID: owner.id}
+	c.jobs[id] = j
+	c.admitted++
+	owner.addDepth()
+	if !owner.enqueue(j) {
+		// Cannot happen with the capacity proof above; account it as a
+		// rejection rather than deadlock if the proof is ever broken.
+		owner.dropDepth()
+		delete(c.jobs, id)
+		c.admitted--
+		c.rejected++
+		return id, "", ErrSaturated
+	}
+	return id, serve.SubmitQueued, nil
+}
+
+// ownerLocked resolves a key's live hash-ring owner.
+func (c *Coordinator) ownerLocked(key string) (*worker, bool) {
+	id, ok := c.ring.Owner(key, func(id string) bool { return c.workers[id].isAlive() })
+	if !ok {
+		return nil, false
+	}
+	return c.workers[id], true
+}
+
+// unretireLocked removes a terminal record's FIFO entry ahead of
+// re-admission under the same ID, so the order list never holds duplicates.
+func (c *Coordinator) unretireLocked(id string) {
+	for i, old := range c.finishedOrder {
+		if old == id {
+			c.finishedOrder = append(c.finishedOrder[:i], c.finishedOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// retireLocked bounds the terminal-record set FIFO, like serve's queue.
+func (c *Coordinator) retireLocked(id string) {
+	c.finishedOrder = append(c.finishedOrder, id)
+	for len(c.finishedOrder) > c.finishedCap {
+		old := c.finishedOrder[0]
+		c.finishedOrder = c.finishedOrder[1:]
+		delete(c.jobs, old)
+	}
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClusterStats{
+		Admitted: c.admitted, Completed: c.completed, Failed: c.failed,
+		Dropped: c.dropped, Rejected: c.rejected, Coalesced: c.coalesced,
+		Redispatched: c.redispatched, RemoteCacheHits: c.remoteCacheHits,
+		Draining: c.draining,
+	}
+	for _, w := range c.order {
+		if w.isAlive() {
+			st.LiveWorkers++
+		}
+	}
+	return st
+}
+
+// Drain gracefully shuts the coordinator down: admission stops immediately
+// (Submit returns ErrDraining), outstanding jobs get up to timeout to reach
+// a terminal state on their workers, then the dispatchers are cancelled and
+// whatever remains is reported dropped. Like serve.Queue.Drain, the
+// conservation law admitted == completed + failed + dropped holds on return.
+func (c *Coordinator) Drain(timeout time.Duration) serve.DrainReport {
+	c.mu.Lock()
+	c.draining = true
+	before := ClusterStats{Completed: c.completed, Failed: c.failed, Dropped: c.dropped}
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	deadlineExceeded := true
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		outstanding := c.admitted - c.completed - c.failed - c.dropped
+		c.mu.Unlock()
+		if outstanding == 0 {
+			deadlineExceeded = false
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.cancel()
+	c.wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Dispatchers are gone; anything non-terminal (still sitting in a job
+	// channel, or abandoned mid-poll by the cancel) is dropped work.
+	for _, j := range c.jobs {
+		if j.state == serve.StateQueued || j.state == serve.StateRunning {
+			j.state = serve.StateDropped
+			j.errMsg = "dropped: coordinator shut down before the job finished"
+			j.scenario = wrtring.Scenario{}
+			c.dropped++
+			c.retireLocked(j.id)
+		}
+	}
+	return serve.DrainReport{
+		Completed:        c.completed - before.Completed,
+		Failed:           c.failed - before.Failed,
+		Dropped:          c.dropped - before.Dropped,
+		DeadlineExceeded: deadlineExceeded,
+	}
+}

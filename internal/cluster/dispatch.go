@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/serve"
+	"github.com/rtnet/wrtring/internal/stats"
+)
+
+// latencyCapMs bounds the per-worker job-latency histograms (mirrors
+// internal/serve's cap; samples above land in the overflow bucket).
+const latencyCapMs = 120_000
+
+// saturationRetries bounds same-worker retries when a live worker answers
+// 429 (its own queue is full — e.g. shared with direct clients) before the
+// job moves to the next ring owner anyway.
+const saturationRetries = 8
+
+// runWorker is one dispatcher goroutine bound to a worker: it pulls jobs
+// from the worker's channel and drives each to a terminal state — dispatch,
+// poll, and on any worker failure redispatch to the hash ring's next live
+// owner. A dead worker's dispatchers keep running precisely so its queued
+// jobs drain into redispatches.
+func (c *Coordinator) runWorker(w *worker) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case j := <-w.ch:
+			c.dispatch(w, j)
+		}
+	}
+}
+
+// dispatch drives one job on one worker. Determinism is what keeps this
+// simple: a job that dies with its worker is re-submitted whole elsewhere
+// and the recomputed result is byte-identical, so there is nothing to
+// migrate or reconcile — only to re-run.
+func (c *Coordinator) dispatch(w *worker, j *clusterJob) {
+	c.mu.Lock()
+	if j.state != serve.StateQueued || j.workerID != w.id {
+		// Stale handoff (the job was retired by a drain that raced the pull).
+		c.mu.Unlock()
+		return
+	}
+	j.state = serve.StateRunning
+	scenario := j.scenario
+	c.mu.Unlock()
+
+	if !w.isAlive() {
+		c.moveJob(j, w, "owner ejected before dispatch")
+		return
+	}
+
+	start := time.Now()
+	retries := 0
+submit:
+	if c.ctx.Err() != nil {
+		return // drain accounting picks the job up as dropped
+	}
+	code, resp, err := w.client.SubmitScenarios(c.ctx, []wrtring.Scenario{scenario})
+	switch {
+	case err != nil:
+		c.ejectWorker(w, "submit failed: %v", err)
+		c.moveJob(j, w, "submit failed")
+		return
+	case code == http.StatusServiceUnavailable:
+		// The worker is draining; it will stop answering shortly.
+		c.ejectWorker(w, "worker answered 503 (draining)")
+		c.moveJob(j, w, "worker draining")
+		return
+	case len(resp.Runs) != 1:
+		c.failJob(j, w, "worker returned a malformed submit response", time.Since(start))
+		return
+	}
+
+	run := resp.Runs[0]
+	switch run.Status {
+	case serve.SubmitQueued, serve.SubmitCoalesced:
+	case serve.SubmitCached:
+		// The worker's cache shard already holds this result: the whole point
+		// of cache-affine routing.
+		c.mu.Lock()
+		c.remoteCacheHits++
+		j.remoteCached = true
+		c.mu.Unlock()
+	case "rejected":
+		// The worker's own queue is full (it may serve direct clients too).
+		// Honour its backpressure hint a few times, then fail over.
+		retries++
+		if retries > saturationRetries {
+			c.moveJob(j, w, "worker persistently saturated")
+			return
+		}
+		if !c.sleep(c.cfg.RetryAfter) {
+			return
+		}
+		goto submit
+	default: // "invalid" or unknown
+		c.failJob(j, w, "worker rejected the spec: "+run.Error, time.Since(start))
+		return
+	}
+
+	// Poll the worker until the job is terminal.
+	for {
+		if !c.sleep(c.cfg.PollInterval) {
+			return
+		}
+		code, st, err := w.client.Status(c.ctx, j.id)
+		switch {
+		case err != nil:
+			c.ejectWorker(w, "status poll failed: %v", err)
+			c.moveJob(j, w, "status poll failed")
+			return
+		case code == http.StatusNotFound:
+			// The record vanished — worker restart lost its memory. Re-run.
+			c.moveJob(j, w, "worker lost the job record")
+			return
+		case code != http.StatusOK:
+			c.ejectWorker(w, "status poll answered HTTP %d", code)
+			c.moveJob(j, w, "status poll failed")
+			return
+		}
+		switch st.Status {
+		case serve.StateDone.String():
+			c.finishJob(j, w, serve.StateDone, "", time.Since(start))
+			return
+		case serve.StateFailed.String():
+			// A deterministic failure: re-running elsewhere reproduces it.
+			c.failJob(j, w, st.Error, time.Since(start))
+			return
+		case serve.StateDropped.String():
+			// The worker drained mid-job; the work itself is still viable.
+			c.moveJob(j, w, "worker dropped the job while draining")
+			return
+		}
+	}
+}
+
+// sleep waits d or until the coordinator shuts down; false means shutdown.
+func (c *Coordinator) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// ejectWorker marks a worker dead after a dispatch-path failure, logging
+// only on the live→dead transition. The health prober owns readmission.
+func (c *Coordinator) ejectWorker(w *worker, format string, args ...any) {
+	if w.markDead(c.cfg.HealthInterval) {
+		c.logf("cluster: ejecting worker %s: "+format, append([]any{w.id}, args...)...)
+	}
+}
+
+// moveJob redispatches a job after its current worker failed it: the job
+// goes back to queued state on the hash ring's next live owner. When the
+// original owner is the only live worker it retries there; when no worker
+// is live, or the attempt budget is spent, the job fails.
+func (c *Coordinator) moveJob(j *clusterJob, from *worker, reason string) {
+	c.mu.Lock()
+	from.dropDepth()
+	j.attempts++
+	if j.attempts >= c.cfg.MaxAttempts {
+		c.terminalLocked(j, serve.StateFailed,
+			fmt.Sprintf("failed after %d dispatch attempts (last: %s)", j.attempts, reason))
+		c.mu.Unlock()
+		return
+	}
+	var target *worker
+	for _, id := range c.ring.Sequence(j.id) {
+		if w := c.workers[id]; id != from.id && w.isAlive() {
+			target = w
+			break
+		}
+	}
+	moved := target != nil
+	if target == nil && from.isAlive() {
+		target = from // sole live worker: retry in place
+	}
+	if target == nil {
+		c.terminalLocked(j, serve.StateFailed, "no live workers (last: "+reason+")")
+		c.mu.Unlock()
+		return
+	}
+	if moved {
+		c.redispatched++
+	}
+	j.state = serve.StateQueued
+	j.workerID = target.id
+	target.addDepth()
+	if !target.enqueue(j) {
+		target.dropDepth()
+		c.terminalLocked(j, serve.StateFailed, "redispatch channel full (capacity invariant broken)")
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.logf("cluster: redispatching %s: %s → %s (%s, attempt %d)",
+		shortID(j.id), from.id, target.id, reason, j.attempts)
+}
+
+// finishJob retires a successfully completed job.
+func (c *Coordinator) finishJob(j *clusterJob, w *worker, state serve.State, errMsg string, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.dropDepth()
+	j.elapsed = elapsed
+	h, ok := c.latency[w.id]
+	if !ok {
+		h = stats.NewHistogram(latencyCapMs)
+		c.latency[w.id] = h
+	}
+	h.Add(elapsed.Milliseconds())
+	c.terminalLocked(j, state, errMsg)
+}
+
+// failJob retires a job that cannot succeed (invalid spec, deterministic
+// simulation error, attempts exhausted).
+func (c *Coordinator) failJob(j *clusterJob, w *worker, errMsg string, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.dropDepth()
+	j.elapsed = elapsed
+	c.terminalLocked(j, serve.StateFailed, errMsg)
+}
+
+// terminalLocked moves a job to a terminal state under c.mu and updates the
+// conservation counters. The scenario payload is released; workerID is kept
+// so the status path knows which cache shard holds the result bytes.
+func (c *Coordinator) terminalLocked(j *clusterJob, state serve.State, errMsg string) {
+	if j.state == serve.StateDone || j.state == serve.StateFailed || j.state == serve.StateDropped {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.scenario = wrtring.Scenario{}
+	switch state {
+	case serve.StateDone:
+		c.completed++
+	case serve.StateFailed:
+		c.failed++
+	case serve.StateDropped:
+		c.dropped++
+	}
+	c.retireLocked(j.id)
+}
+
+// healthLoop probes the fleet: live workers get a liveness check every
+// HealthInterval; ejected workers are re-probed on an exponential backoff
+// (doubling from HealthInterval, capped at ProbeBackoffMax) and readmitted
+// to the ring — which is instant, because the ring itself never changes,
+// only the liveness predicate its lookups consult.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for _, w := range c.order {
+			if !w.isAlive() && !w.probeDue(now) {
+				continue
+			}
+			err := w.client.Healthz(c.ctx)
+			switch {
+			case err == nil && !w.isAlive():
+				if w.readmit() {
+					c.logf("cluster: readmitting worker %s", w.id)
+				}
+			case err != nil && w.isAlive():
+				c.ejectWorker(w, "health probe failed: %v", err)
+			case err != nil:
+				w.probeFailed(c.cfg.HealthInterval, c.cfg.ProbeBackoffMax)
+			}
+		}
+	}
+}
+
+func shortID(id string) string {
+	if len(id) > 16 {
+		return id[:16]
+	}
+	return id
+}

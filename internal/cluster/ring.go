@@ -1,0 +1,110 @@
+// Package cluster shards the scenario service across a fleet of wrtserved
+// workers behind one coordinator speaking the identical /v1/runs API.
+//
+// The design exploits the repository's core determinism property twice
+// over. First, scenarios are content-addressed (Scenario.Hash), so routing
+// each spec through a consistent-hash ring sends identical specs to the
+// same worker every time — which turns every worker's local LRU result
+// cache into a shard of a cluster-wide *exact* cache with no coordination
+// protocol at all. Second, a run is a pure function of its spec: a job can
+// be killed with its worker and re-dispatched whole to the hash ring's
+// next live node, and the recomputed result is byte-identical, so failover
+// needs no checkpointing, no job migration, and no read-repair.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per worker on the hash ring.
+// 128 points per worker keeps the load spread within a few percent of even
+// for small fleets while staying cheap to rebuild.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker IDs. It is immutable after
+// construction — liveness is supplied per lookup, so ejecting or
+// readmitting a worker never rebuilds the ring, and keys owned by live
+// workers never move when an unrelated worker dies (minimal disruption).
+type Ring struct {
+	points []ringPoint // sorted ascending by hash
+	ids    []string
+}
+
+type ringPoint struct {
+	hash     uint64
+	workerID string
+}
+
+// NewRing places each worker at `replicas` pseudo-random points
+// (<= 0: DefaultReplicas) derived from SHA-256 of "id#i" — fully
+// deterministic, so every coordinator instance over the same fleet agrees
+// on ownership.
+func NewRing(ids []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{ids: append([]string(nil), ids...)}
+	for _, id := range ids {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:     hashString(fmt.Sprintf("%s#%d", id, i)),
+				workerID: id,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on worker ID so ownership is deterministic even in the
+		// astronomically unlikely event of a 64-bit collision.
+		return r.points[a].workerID < r.points[b].workerID
+	})
+	return r
+}
+
+// Workers returns the member IDs in construction order.
+func (r *Ring) Workers() []string { return r.ids }
+
+// Owner walks clockwise from the key's position and returns the first
+// worker for which alive(id) is true. ok is false when no worker is alive.
+// With alive == nil every worker is considered live (the key's primary
+// owner).
+func (r *Ring) Owner(key string, alive func(id string) bool) (string, bool) {
+	for _, id := range r.Sequence(key) {
+		if alive == nil || alive(id) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Sequence returns the distinct workers in the order the clockwise walk
+// from key's ring position first meets them: the preference order for
+// dispatch, and the failover order when owners die. Every worker appears
+// exactly once.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, len(r.ids))
+	seen := make(map[string]bool, len(r.ids))
+	for i := 0; i < len(r.points) && len(seq) < len(r.ids); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.workerID] {
+			seen[p.workerID] = true
+			seq = append(seq, p.workerID)
+		}
+	}
+	return seq
+}
+
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v1-key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	// Two rings over the same fleet — even built from differently ordered ID
+	// lists — agree on every key: any coordinator replica routes identically.
+	a := NewRing([]string{"w1", "w2", "w3"}, 0)
+	b := NewRing([]string{"w3", "w1", "w2"}, 0)
+	for _, k := range keys(500) {
+		oa, oka := a.Owner(k, nil)
+		ob, okb := b.Owner(k, nil)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	ring := NewRing([]string{"w1", "w2", "w3"}, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range keys(n) {
+		id, ok := ring.Owner(k, nil)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[id]++
+	}
+	for id, got := range counts {
+		// Even to within a factor of two of fair share is all consistency
+		// hashing promises at 128 vnodes; in practice it is much tighter.
+		if got < n/6 || got > n/2 {
+			t.Fatalf("worker %s owns %d of %d keys — load badly skewed: %v", id, got, n, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("not every worker owns keys: %v", counts)
+	}
+}
+
+func TestRingFailoverMovesOnlyDeadKeys(t *testing.T) {
+	ring := NewRing([]string{"w1", "w2", "w3"}, 0)
+	dead := "w2"
+	alive := func(id string) bool { return id != dead }
+	for _, k := range keys(1000) {
+		primary, _ := ring.Owner(k, nil)
+		failover, ok := ring.Owner(k, alive)
+		if !ok {
+			t.Fatal("no live owner")
+		}
+		if primary != dead && failover != primary {
+			t.Fatalf("key %s moved from live owner %s to %s when %s died", k, primary, failover, dead)
+		}
+		if primary == dead && failover == dead {
+			t.Fatalf("key %s still routed to dead worker", k)
+		}
+	}
+}
+
+func TestRingSequenceCoversAllWorkersOnce(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4", "w5"}
+	ring := NewRing(ids, 16)
+	for _, k := range keys(200) {
+		seq := ring.Sequence(k)
+		if len(seq) != len(ids) {
+			t.Fatalf("sequence for %s has %d entries, want %d: %v", k, len(seq), len(ids), seq)
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("sequence for %s repeats %s: %v", k, id, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingNoLiveWorkers(t *testing.T) {
+	ring := NewRing([]string{"w1"}, 0)
+	if _, ok := ring.Owner("k", func(string) bool { return false }); ok {
+		t.Fatal("owner reported with zero live workers")
+	}
+	if seq := (&Ring{}).Sequence("k"); seq != nil {
+		t.Fatalf("empty ring produced a sequence: %v", seq)
+	}
+}

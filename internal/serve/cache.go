@@ -59,6 +59,22 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// GetIfPresent is Get without the miss accounting: a hit counts (and
+// promotes recency) because it serves a submission, but a miss is silent.
+// The queue's second-chance lookup under its own lock uses it so the
+// double-check pattern doesn't count one logical lookup as two misses.
+func (c *Cache) GetIfPresent(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Peek returns the cached bytes for key without promoting the entry or
 // touching the hit/miss counters. Status reads (GET /v1/runs/{id}) use it so
 // the hit ratio measures admission-path deduplication, not client polling.

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// Client speaks the /v1/runs HTTP/JSON API. Both servers implement the same
+// protocol, so one client targets either a single wrtserved or a wrtcoord
+// cluster — the coordinator itself uses a Client per worker, and
+// cmd/wrtsweep uses one for its remote mode.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (NewClient installs a 60 s timeout;
+	// replace it for shorter health-probe deadlines).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// Submit POSTs a batch of raw scenario specs and returns the HTTP status
+// plus the decoded per-item outcomes. A non-2xx status with a decodable
+// body (400 invalid items, 429 backpressure) is returned without error so
+// the caller can act on the per-item statuses; err covers transport and
+// decoding failures only.
+func (c *Client) Submit(ctx context.Context, scenarios []json.RawMessage) (int, *SubmitResponse, error) {
+	body, err := json.Marshal(SubmitRequest{Scenarios: scenarios})
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: encoding submit request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("serve: decoding submit response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	return resp.StatusCode, &out, nil
+}
+
+// SubmitScenarios is Submit over parsed scenario values.
+func (c *Client) SubmitScenarios(ctx context.Context, scenarios []wrtring.Scenario) (int, *SubmitResponse, error) {
+	raw := make([]json.RawMessage, len(scenarios))
+	for i, s := range scenarios {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return 0, nil, fmt.Errorf("serve: encoding scenario %d: %w", i, err)
+		}
+		raw[i] = b
+	}
+	return c.Submit(ctx, raw)
+}
+
+// Status GETs one run's status. 404 (unknown or evicted ID) is reported via
+// the status code, not err.
+func (c *Client) Status(ctx context.Context, id string) (int, *StatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+id, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("serve: decoding status response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	return resp.StatusCode, &out, nil
+}
+
+// Wait polls a run until it reaches a terminal state (done, failed or
+// dropped) and returns the final status body. A 404 mid-poll is an error:
+// the record vanished (server restart, eviction) and will not reappear.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*StatusResponse, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		code, st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if code == http.StatusNotFound {
+			return nil, fmt.Errorf("serve: run %s unknown to %s (record lost; resubmit)", id, c.BaseURL)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("serve: status %s: HTTP %d", id, code)
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Healthz probes liveness; nil means the server answered 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Stats GETs the queue/cache counter snapshot.
+func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: stats: HTTP %d", resp.StatusCode)
+	}
+	var out ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding stats: %w", err)
+	}
+	return &out, nil
+}
+
+// RetryAfter extracts a response's Retry-After hint, defaulting when the
+// header is absent or malformed.
+func RetryAfter(h http.Header, fallback time.Duration) time.Duration {
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// tinyScenario is the shortest legal run — a few hundred microseconds — so
+// eviction-pressure tests can cycle completions fast enough to race them
+// against duplicate submissions.
+func tinyScenario(seed uint64) wrtring.Scenario {
+	return wrtring.Scenario{N: 4, Seed: seed, Duration: 300}
+}
+
+// TestQueueEvictionPressureCoalescing hammers a queue whose result cache
+// holds a single entry with concurrent duplicate submissions of two specs
+// that keep evicting each other, so every window — submission vs. in-flight
+// coalescing, completion vs. eviction, re-admission after eviction — is
+// crossed repeatedly. Run under -race (make race / CI), it asserts the
+// accounting stays exact: every submission is a queued, cached or coalesced
+// outcome, the counters reconcile with the outcome tallies, and nothing is
+// lost or run twice concurrently under one ID.
+func TestQueueEvictionPressureCoalescing(t *testing.T) {
+	cache := NewCache(1, 0) // one entry: the two specs evict each other
+	q := NewQueue(cache, 1024, 4)
+
+	specs := []wrtring.Scenario{tinyScenario(1), tinyScenario(2)}
+	const goroutines = 8
+	const perGoroutine = 60
+	var queued, cached, coalesced int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				s := specs[(g+i)%len(specs)]
+				_, outcome, err := q.Submit(s)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				switch outcome {
+				case SubmitQueued:
+					atomic.AddInt64(&queued, 1)
+				case SubmitCached:
+					atomic.AddInt64(&cached, 1)
+				case SubmitCoalesced:
+					atomic.AddInt64(&coalesced, 1)
+				default:
+					t.Errorf("unexpected outcome %q", outcome)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	report := q.Drain(time.Minute)
+	if report.DeadlineExceeded {
+		t.Fatalf("drain hit its deadline: %+v", report)
+	}
+
+	qs := q.Stats()
+	total := int64(goroutines * perGoroutine)
+	if queued+cached+coalesced != total {
+		t.Fatalf("outcomes %d+%d+%d don't cover %d submissions", queued, cached, coalesced, total)
+	}
+	if qs.Admitted != queued || qs.Coalesced != coalesced {
+		t.Fatalf("queue counters disagree with outcomes: %+v vs queued=%d coalesced=%d", qs, queued, coalesced)
+	}
+	if qs.Admitted != qs.Completed || qs.Failed != 0 || qs.Dropped != 0 {
+		t.Fatalf("conservation violated: %+v", qs)
+	}
+	if cs := cache.Stats(); cs.Hits != cached {
+		t.Fatalf("cache hits %d, cached outcomes %d", cs.Hits, cached)
+	}
+	// Both specs stay queryable with a terminal record; re-admissions after
+	// eviction must not have corrupted the bounded finished set.
+	for _, s := range specs {
+		id, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, ok := q.Status(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("spec %s not done after drain: %+v (known=%v)", id, st, ok)
+		}
+	}
+	// The surviving entry is byte-identical to a fresh local run —
+	// re-execution after eviction changed nothing.
+	for _, s := range specs {
+		id, _ := Key(s)
+		data, ok := cache.Peek(id)
+		if !ok {
+			continue // the other spec evicted it; that's the pressure working
+		}
+		res, err := wrtring.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(local) != string(data) {
+			t.Fatalf("cached bytes diverge from a fresh run for %s", id)
+		}
+	}
+}
+
+// TestStatusEvictedResultHint: a done job whose bytes were evicted keeps its
+// "done" state but tells the client how to recover.
+func TestStatusEvictedResultHint(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 8, CacheEntries: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+	_, resp, err := cl.SubmitScenarios(ctx, []wrtring.Scenario{tinyScenario(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := resp.Runs[0].ID
+	if _, err := cl.Wait(ctx, first, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A second spec evicts the first from the single-entry cache.
+	_, resp, err = cl.SubmitScenarios(ctx, []wrtring.Scenario{tinyScenario(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, resp.Runs[0].ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	code, st, err := cl.Status(ctx, first)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("status: HTTP %d, %v", code, err)
+	}
+	if st.Status != "done" || st.Result != nil {
+		t.Fatalf("evicted job status %+v, want done with no result", st)
+	}
+	if !strings.Contains(st.Error, "evicted") || !strings.Contains(st.Error, "resubmit") {
+		t.Fatalf("no recovery hint on evicted result: %q", st.Error)
+	}
+}
+
+// TestSubmitRetryAfterHeader: 429 (queue full) and 503 (draining) both
+// carry the Retry-After backpressure hint.
+func TestSubmitRetryAfterHeader(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 1, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+	// Occupy the worker and fill the single queue slot with slow runs, then
+	// overflow with a third distinct spec.
+	var batch []wrtring.Scenario
+	for seed := uint64(1); seed <= 3; seed++ {
+		batch = append(batch, slowScenario(seed))
+	}
+	raw := make([]json.RawMessage, len(batch))
+	for i, s := range batch {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = b
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+			strings.NewReader(`{"scenarios": [`+string(raw[0])+`,`+string(raw[1])+`,`+string(raw[2])+`]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if got := RetryAfter(resp.Header, 0); got != 3*time.Second {
+				t.Fatalf("429 Retry-After = %v (header %q), want 3s", got, resp.Header.Get("Retry-After"))
+			}
+			break
+		}
+		// The first worker may already have finished a run; keep pushing
+		// fresh distinct specs until admission control trips.
+		if time.Now().After(deadline) {
+			t.Fatal("queue never reported full")
+		}
+		for i := range batch {
+			batch[i].Seed += 100
+			b, err := json.Marshal(batch[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[i] = b
+		}
+	}
+
+	go srv.Drain(time.Minute)
+	// Draining submissions answer 503 with the same hint.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		code, _, err := cl.SubmitScenarios(ctx, []wrtring.Scenario{tinyScenario(9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never refused a submission")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"scenarios": [{"N": 5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: HTTP %d", resp.StatusCode)
+	}
+	if RetryAfter(resp.Header, 0) != 3*time.Second {
+		t.Fatalf("503 missing Retry-After: %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestClientStatsEndpoint covers the JSON stats surface the coordinator
+// aggregates, plus the worker identity plumbing.
+func TestClientStatsEndpoint(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueCapacity: 8, WorkerID: "w7"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, resp, err := cl.SubmitScenarios(ctx, []wrtring.Scenario{tinyScenario(1), tinyScenario(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range resp.Runs {
+		if _, err := cl.Wait(ctx, run.ID, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Worker != "w7" {
+		t.Fatalf("stats worker %q, want w7", st.Worker)
+	}
+	if st.Queue.Admitted != 1 || st.Queue.Completed != 1 {
+		t.Fatalf("stats queue %+v", st.Queue)
+	}
+	if st.Cache.Entries != 1 {
+		t.Fatalf("stats cache %+v", st.Cache)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m[`wrtserved_worker_info{id="w7"}`] != 1 {
+		t.Fatalf("worker info metric missing: %v", m)
+	}
+}

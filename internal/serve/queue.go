@@ -221,6 +221,17 @@ func (q *Queue) Submit(s wrtring.Scenario) (id, outcome string, err error) {
 		q.coalesced++
 		return id, SubmitCoalesced, nil
 	}
+	// Second cache check, now under q.mu: a worker publishes result bytes
+	// (cache.Put) strictly before it retires the job record (terminal takes
+	// q.mu), so a completion that raced the lock-free lookup above is
+	// visible here. Without this, a duplicate submission landing in the
+	// Put→terminal window re-admits and re-runs a spec whose bytes are
+	// already cached. (If the entry was instead *evicted* in that window,
+	// the re-admission below is the correct recovery: deterministic re-run,
+	// identical bytes.)
+	if _, ok := q.cache.GetIfPresent(id); ok {
+		return id, SubmitCached, nil
+	}
 	if q.depth >= q.capacity {
 		q.rejected++
 		return id, "", ErrQueueFull
@@ -441,8 +452,15 @@ func (q *Queue) terminal(j *jobRecord, state State, errMsg string, elapsed time.
 		h.Add(elapsed.Milliseconds())
 	}
 	delete(q.inflight, j.id)
+	// A job can retire under an ID that already has a finished record: a
+	// duplicate submission re-admitted the spec after its cached result was
+	// evicted. Replace the record without a second FIFO entry, otherwise
+	// the first trim of the duplicated ID would delete the live record and
+	// leave a dangling order entry.
+	if _, exists := q.finished[j.id]; !exists {
+		q.finishedOrder = append(q.finishedOrder, j.id)
+	}
 	q.finished[j.id] = j
-	q.finishedOrder = append(q.finishedOrder, j.id)
 	for len(q.finishedOrder) > q.finishedCap {
 		old := q.finishedOrder[0]
 		q.finishedOrder = q.finishedOrder[1:]

@@ -17,9 +17,9 @@ import (
 	wrtring "github.com/rtnet/wrtring"
 )
 
-func postRuns(t *testing.T, base string, scenarios []wrtring.Scenario) (int, submitResponse) {
+func postRuns(t *testing.T, base string, scenarios []wrtring.Scenario) (int, SubmitResponse) {
 	t.Helper()
-	var req submitRequest
+	var req SubmitRequest
 	for _, s := range scenarios {
 		b, err := json.Marshal(s)
 		if err != nil {
@@ -36,28 +36,28 @@ func postRuns(t *testing.T, base string, scenarios []wrtring.Scenario) (int, sub
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out submitResponse
+	var out SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decoding response: %v", err)
 	}
 	return resp.StatusCode, out
 }
 
-func getStatus(t *testing.T, base, id string) (int, statusResponse) {
+func getStatus(t *testing.T, base, id string) (int, StatusResponse) {
 	t.Helper()
 	resp, err := http.Get(base + "/v1/runs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out statusResponse
+	var out StatusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decoding status: %v", err)
 	}
 	return resp.StatusCode, out
 }
 
-func waitDone(t *testing.T, base, id string) statusResponse {
+func waitDone(t *testing.T, base, id string) StatusResponse {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
@@ -74,7 +74,7 @@ func waitDone(t *testing.T, base, id string) statusResponse {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("job %s never finished", id)
-	return statusResponse{}
+	return StatusResponse{}
 }
 
 func scrapeMetrics(t *testing.T, base string) map[string]float64 {
@@ -121,7 +121,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	// exactly one job (queued by whoever got there first, coalesced or
 	// cached for the rest), never two.
 	const clients = 3
-	responses := make([]submitResponse, clients)
+	responses := make([]SubmitResponse, clients)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -156,7 +156,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	}
 
 	// Exactly one execution per distinct spec despite 12 submissions.
-	served := make([]statusResponse, len(batch))
+	served := make([]StatusResponse, len(batch))
 	for i, id := range ids {
 		served[i] = waitDone(t, ts.URL, id)
 	}
@@ -354,7 +354,7 @@ func TestServiceRequestValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("mixed batch: HTTP %d", resp.StatusCode)
 	}
-	var out submitResponse
+	var out SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}

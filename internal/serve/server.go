@@ -25,6 +25,12 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds the request body (<= 0: 8 MiB).
 	MaxBodyBytes int64
+	// WorkerID names this instance when it serves as a cluster worker
+	// (cmd/wrtserved -id); surfaced on /healthz, /metrics and /v1/stats.
+	WorkerID string
+	// RetryAfter is the backpressure hint on 429/503 responses
+	// (<= 0: DefaultRetryAfter).
+	RetryAfter time.Duration
 }
 
 // Server is the HTTP/JSON front end over the queue and cache.
@@ -40,6 +46,8 @@ type Server struct {
 	cache        *Cache
 	maxBatch     int
 	maxBodyBytes int64
+	workerID     string
+	retryAfter   time.Duration
 	mux          *http.ServeMux
 }
 
@@ -51,16 +59,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
 	cache := NewCache(cfg.CacheEntries, cfg.CacheBytes)
 	s := &Server{
 		queue:        NewQueue(cache, cfg.QueueCapacity, cfg.Workers),
 		cache:        cache,
 		maxBatch:     cfg.MaxBatch,
 		maxBodyBytes: cfg.MaxBodyBytes,
+		workerID:     cfg.WorkerID,
+		retryAfter:   cfg.RetryAfter,
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -81,44 +95,11 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	return s.queue.Drain(timeout)
 }
 
-// submitRequest is the POST /v1/runs body. Scenarios are kept raw so each
-// one is parsed strictly (unknown fields rejected) with a per-item error.
-type submitRequest struct {
-	Scenarios []json.RawMessage `json:"scenarios"`
-}
-
-// submitRun is one entry of the POST /v1/runs response.
-type submitRun struct {
-	ID string `json:"id,omitempty"`
-	// Status is queued | cached | coalesced | rejected | invalid.
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
-}
-
-type submitResponse struct {
-	Runs []submitRun `json:"runs"`
-}
-
-// statusResponse is the GET /v1/runs/{id} body.
-type statusResponse struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Cached bool   `json:"cached,omitempty"`
-	// Coalesced counts duplicate submissions folded onto this job.
-	Coalesced int64 `json:"coalesced,omitempty"`
-	// TraceEvents is the live journal size for Trace-enabled scenarios.
-	TraceEvents uint64 `json:"traceEvents,omitempty"`
-	ElapsedMs   int64  `json:"elapsedMs,omitempty"`
-	Error       string `json:"error,omitempty"`
-	// Result is the simulation's wrtring.Result JSON, present when done.
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	var req submitRequest
+	var req SubmitRequest
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
 		return
@@ -133,34 +114,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := submitResponse{Runs: make([]submitRun, len(req.Scenarios))}
+	resp := SubmitResponse{Runs: make([]SubmitRun, len(req.Scenarios))}
 	status := http.StatusOK
 	rejected := false
 	for i, raw := range req.Scenarios {
 		scenario, err := wrtring.ParseScenario(raw)
 		if err != nil {
-			resp.Runs[i] = submitRun{Status: "invalid", Error: err.Error()}
+			resp.Runs[i] = SubmitRun{Status: "invalid", Error: err.Error()}
 			status = http.StatusBadRequest
 			continue
 		}
 		id, outcome, err := s.queue.Submit(scenario)
 		switch {
 		case errors.Is(err, ErrDraining):
+			SetRetryAfter(w.Header(), s.retryAfter)
 			httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
 			return
 		case errors.Is(err, ErrQueueFull):
-			resp.Runs[i] = submitRun{ID: id, Status: "rejected", Error: err.Error()}
+			resp.Runs[i] = SubmitRun{ID: id, Status: "rejected", Error: err.Error()}
 			rejected = true
 		case err != nil:
-			resp.Runs[i] = submitRun{Status: "invalid", Error: err.Error()}
+			resp.Runs[i] = SubmitRun{Status: "invalid", Error: err.Error()}
 			status = http.StatusBadRequest
 		default:
-			resp.Runs[i] = submitRun{ID: id, Status: outcome}
+			resp.Runs[i] = SubmitRun{ID: id, Status: outcome}
 		}
 	}
 	if rejected && status == http.StatusOK {
-		// Partial admission: the client should retry the rejected items.
+		// Partial admission: the client should retry the rejected items
+		// after the backpressure hint.
 		status = http.StatusTooManyRequests
+		SetRetryAfter(w.Header(), s.retryAfter)
 	}
 	writeJSON(w, status, resp)
 }
@@ -173,7 +157,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"unknown run ID (never submitted, or its record and cached result have been evicted; resubmit the scenario)")
 		return
 	}
-	resp := statusResponse{
+	resp := StatusResponse{
 		ID: st.ID, Status: st.State.String(), Cached: st.Cached,
 		Coalesced: st.Coalesced, TraceEvents: st.TraceEvents,
 		ElapsedMs: st.Elapsed.Milliseconds(), Error: st.Err,
@@ -181,14 +165,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if st.State == StateDone {
 		if data, ok := s.queue.Result(id); ok {
 			resp.Result = data
+		} else {
+			// The job finished but its bytes were evicted under cache
+			// pressure before this read. The state stays "done" (the work
+			// did complete); the hint tells the client how to recover —
+			// resubmitting re-runs the spec deterministically.
+			resp.Error = "result evicted from cache; resubmit the scenario to recompute"
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ServiceStats{
+		Worker: s.workerID, Queue: s.queue.Stats(), Cache: s.cache.Stats(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+	if s.workerID != "" {
+		fmt.Fprintf(w, "worker %s\n", s.workerID)
+	}
 }
 
 // handleMetrics writes a Prometheus-style text exposition of the queue,
@@ -201,6 +200,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeMetric := func(name string, v any, help string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
 		fmt.Fprintf(&b, "%s %v\n", name, v)
+	}
+	if s.workerID != "" {
+		fmt.Fprintf(&b, "# HELP wrtserved_worker_info worker identity within a wrtcoord cluster\n")
+		fmt.Fprintf(&b, "wrtserved_worker_info{id=%q} 1\n", s.workerID)
 	}
 	writeMetric("wrtserved_queue_depth", qs.Depth, "jobs admitted but not yet running")
 	writeMetric("wrtserved_inflight", qs.Running, "jobs currently executing")
