@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-baseline bench-check cover examples experiments serve cluster-smoke clean
+.PHONY: all build vet test test-race race check bench bench-baseline bench-check bench-trajectory cover examples experiments serve cluster-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench-baseline:
 bench-check:
 	scripts/bench.sh benchmarks/latest.txt
 	scripts/bench-compare.sh benchmarks/baseline.txt benchmarks/latest.txt
+
+# bench-trajectory appends the tracked hot-path benchmarks (RunForN64,
+# KernelScheduleAndFire) as the next point in the committed perf trajectory
+# (benchmarks/bench_results.csv) and emits a BENCH_<n>.json snapshot.
+# See benchmarks/README.md "Perf trajectory".
+bench-trajectory:
+	scripts/bench-trajectory.sh
 
 cover:
 	$(GO) test -cover ./...

@@ -35,6 +35,51 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkRunForN64 measures the steady-state slot hot path at N=64: the
+// network is built (and warmed) outside the timed region, so the numbers are
+// pure kernel+radio+MAC slot advancement — the denominator of every sweep,
+// service and cluster throughput figure. Each op advances 1000 slots.
+// The perf trajectory (benchmarks/bench_results.csv) tracks this benchmark;
+// the allocation target for the steady state is 0 allocs/op.
+func BenchmarkRunForN64(b *testing.B) {
+	const opSlots = 1000
+	cases := []struct {
+		name string
+		s    Scenario
+	}{
+		{"idle", Scenario{N: 64, L: 2, K: 2, Seed: 9, Duration: 1}},
+		// Rate-balanced CBR so queues stay bounded: with L=2 circulating
+		// slots and one-hop destinations the ring moves ~2 packets per slot
+		// time, so 64 stations emitting every 64 slots (1 arrival/slot)
+		// leaves headroom and the fifo backing arrays reach a steady size.
+		{"cbr", Scenario{N: 64, L: 2, K: 2, Seed: 9, Duration: 1,
+			Sources: []Source{{Station: AllStations, Kind: CBR, Class: Premium,
+				Period: 64, Dest: Offset(1)}}}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			net, err := Build(tc.s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Start()
+			// Warm up: fills the kernel free list, the radio scratch buffers
+			// and the station queues' backing arrays.
+			net.Kernel.Run(net.Kernel.Now() + 4*opSlots)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Kernel.Run(net.Kernel.Now() + opSlots)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(opSlots*b.N)/b.Elapsed().Seconds(), "slots/sec")
+			if res := net.Snapshot(); res.Dead {
+				b.Fatal("ring died during benchmark")
+			}
+		})
+	}
+}
+
 // TestLargeRingStress runs a 100-station ring for 200k slots with churn —
 // the scale headroom check (skipped with -short).
 func TestLargeRingStress(t *testing.T) {

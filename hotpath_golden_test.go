@@ -1,0 +1,146 @@
+package wrtring
+
+// Golden-trace determinism pin for the hot-path optimizations: the pooled
+// radio/frame buffers, the neighbor-reach cache and the kernel fast paths
+// must be invisible in every observable byte. The goldens in
+// testdata/hotpath_golden.json were generated at the pre-optimization commit
+// (WRT_UPDATE_GOLDEN=1 go test -run TestHotPathGolden), so passing this test
+// proves optimized runs equal seed-commit runs exactly — trace bytes and
+// final stats alike — across seeds, sizes and scenario shapes. The test also
+// re-runs every scenario chunked (metamorphic: RunFor in pieces must equal
+// one RunFor) and runs under -race via `make race`.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// goldenScenarios is the pinned determinism matrix: ≥3 seeds × N ∈ {8,32,64}
+// × three shapes (saturated ring, mixed traffic with churn+loss+RAP, and
+// mobility driving SetPosition invalidations of the neighbor cache).
+func goldenScenarios() map[string]Scenario {
+	out := map[string]Scenario{}
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, n := range []int{8, 32, 64} {
+			out[fmt.Sprintf("saturated/N=%d/seed=%d", n, seed)] = Scenario{
+				N: n, L: 2, K: 2, Seed: seed, Duration: 4000, Trace: true,
+				Sources: []Source{{Station: AllStations, Class: Premium,
+					Dest: Opposite(), Preload: 500}},
+			}
+			out[fmt.Sprintf("mixed/N=%d/seed=%d", n, seed)] = Scenario{
+				N: n, L: 2, K: 2, Seed: seed, Duration: 6000, Trace: true,
+				EnableRAP: true, AutoRejoin: true, LossProb: 0.001,
+				Sources: []Source{
+					{Station: AllStations, Kind: CBR, Class: Premium, Period: 40, Dest: Offset(1), Deadline: 200},
+					{Station: AllStations, Kind: Poisson, Class: BestEffort, Mean: 90, Dest: Uniform()},
+				},
+				Churn: []ChurnOp{
+					{At: 1500, Kind: Kill, Station: 2},
+					{At: 3000, Kind: Leave, Station: 5},
+					{At: 4200, Kind: LoseSignal},
+				},
+			}
+			out[fmt.Sprintf("mobility/N=%d/seed=%d", n, seed)] = Scenario{
+				N: n, L: 1, K: 1, Seed: seed, Duration: 4000, Trace: true,
+				RangeChords: 4.0,
+				Sources: []Source{{Station: AllStations, Kind: Poisson,
+					Class: Premium, Mean: 120, Dest: Uniform()}},
+				Mobility: &Mobility{Speed: 0.02, PauseMin: 50, PauseMax: 200, StepEvery: 250},
+			}
+		}
+	}
+	return out
+}
+
+// digestRun runs the scenario (in nChunks RunFor calls) and returns a hash
+// over the final Result and the full journal — every observable byte.
+func digestRun(t *testing.T, s Scenario, nChunks int) string {
+	t.Helper()
+	net, err := Build(s)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var res *Result
+	total := s.Duration
+	for i := 0; i < nChunks; i++ {
+		chunk := total / int64(nChunks)
+		if i == nChunks-1 {
+			chunk = total - int64(i)*chunk
+		}
+		res = net.RunFor(chunk)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "result %+v\n", *res)
+	if j := net.Journal(); j != nil {
+		fmt.Fprintf(&b, "journal total=%d overwritten=%d\n", j.Total(), j.Overwritten())
+		for _, e := range j.Events() {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func goldenPath() string { return filepath.Join("testdata", "hotpath_golden.json") }
+
+func TestHotPathGolden(t *testing.T) {
+	scenarios := goldenScenarios()
+	got := map[string]string{}
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := scenarios[name]
+		whole := digestRun(t, s, 1)
+		chunked := digestRun(t, s, 7)
+		if whole != chunked {
+			t.Errorf("%s: chunked RunFor diverged from a single RunFor", name)
+		}
+		got[name] = whole
+	}
+
+	if os.Getenv("WRT_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden hashes to %s", len(got), goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("read goldens (generate with WRT_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden hash recorded", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: output diverged from the pre-optimization golden\n got %s\nwant %s",
+				name, got[name], w)
+		}
+	}
+}

@@ -65,6 +65,13 @@ submit:
 	code, resp, err := w.client.SubmitScenarios(c.ctx, []wrtring.Scenario{scenario})
 	switch {
 	case err != nil:
+		if c.ctx.Err() != nil {
+			// The coordinator cancelled the call itself (drain deadline).
+			// That says nothing about the worker's health and the job is
+			// still viable: leave both alone so the drain sweep records the
+			// job as dropped work rather than a worker failure.
+			return
+		}
 		c.ejectWorker(w, "submit failed: %v", err)
 		c.moveJob(j, w, "submit failed")
 		return
@@ -113,6 +120,11 @@ submit:
 		code, st, err := w.client.Status(c.ctx, j.id)
 		switch {
 		case err != nil:
+			if c.ctx.Err() != nil {
+				// Self-inflicted cancellation (drain), not a worker fault —
+				// see the submit path above.
+				return
+			}
 			c.ejectWorker(w, "status poll failed: %v", err)
 			c.moveJob(j, w, "status poll failed")
 			return
@@ -275,6 +287,11 @@ func (c *Coordinator) healthLoop() {
 				continue
 			}
 			err := w.client.Healthz(c.ctx)
+			if c.ctx.Err() != nil {
+				// Drain cancelled the probe mid-flight; don't let the
+				// shutdown masquerade as a fleet-wide health failure.
+				return
+			}
 			switch {
 			case err == nil && !w.isAlive():
 				if w.readmit() {

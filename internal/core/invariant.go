@@ -41,6 +41,67 @@ func (v InvariantViolation) String() string {
 // keeps increasing past the cap (a broken ring violates every slot).
 const maxStoredViolations = 64
 
+// invEntry is one slot-scoped counter in the audit's per-ID scratch table.
+// Entries are invalidated by epoch stamp instead of being cleared, so the
+// audit never zeroes the whole table.
+type invEntry struct {
+	epoch int64
+	count int32
+}
+
+// invAt returns the scratch entry for id, valid for the current audit epoch.
+// StationIDs are small dense ints (scenario stations are numbered 0..N-1 and
+// joins reuse or extend that range), so a slice indexed by ID stays compact.
+func (r *Ring) invAt(id StationID) *invEntry {
+	if int(id) >= len(r.invScratch) {
+		grown := make([]invEntry, int(id)+1)
+		copy(grown, r.invScratch)
+		r.invScratch = grown
+	}
+	e := &r.invScratch[id]
+	if e.epoch != r.invEpoch {
+		e.epoch = r.invEpoch
+		e.count = 0
+	}
+	return e
+}
+
+// invMember reports whether id was stamped into the scratch table when the
+// order-aligned caches were last rebuilt, i.e. it appears in the cyclic order.
+func (r *Ring) invMember(id StationID) bool {
+	return id >= 0 && int(id) < len(r.invScratch) && r.invScratch[id].epoch == r.invEpoch
+}
+
+// rebuildInvCache re-derives everything the audit needs that is a pure
+// function of the cyclic order and the stations map: the order-aligned
+// station pointers (so the per-slot passes do zero map lookups), the
+// membership stamps behind invMember, and per-position duplicate counts.
+// invDup[i] is the number of *later* occurrences of order[i]'s ID, which is
+// exactly how many duplicate verdicts the old pairwise scan emitted at
+// position i — replaying it per slot keeps violation bytes and order
+// identical. The cache refreshes only when orderVersion moves, so steady
+// rings pay for this once, not every slot.
+func (r *Ring) rebuildInvCache() {
+	r.invVersion = r.orderVersion
+	r.invEpoch++
+	r.invStations = r.invStations[:0]
+	r.invDup = r.invDup[:0]
+	r.invSucc = r.invSucc[:0]
+	r.invPred = r.invPred[:0]
+	n := len(r.order)
+	for i, id := range r.order {
+		r.invAt(id).count++
+		r.invStations = append(r.invStations, r.stations[id])
+		r.invSucc = append(r.invSucc, r.order[(i+1)%n])
+		r.invPred = append(r.invPred, r.order[(i+n-1)%n])
+	}
+	for _, id := range r.order {
+		e := r.invAt(id)
+		e.count--
+		r.invDup = append(r.invDup, e.count)
+	}
+}
+
 // NoteDisturbance marks the current slot as topology-disruptive (kill,
 // leave, join, recovery, injected loss of a control frame). The invariant
 // checker suppresses its verdicts for a settle window after the latest
@@ -90,11 +151,16 @@ func (r *Ring) checkInvariants(now sim.Time) {
 			sats++
 		}
 	}
-	r.medium.ScanPending(func(from radio.NodeID, code radio.Code, f radio.Frame) {
-		if rf, ok := f.(*RingFrame); ok && rf.Sat != nil {
-			sats++
+	if r.invScanFn == nil {
+		r.invScanFn = func(from radio.NodeID, code radio.Code, f radio.Frame) {
+			if rf, ok := f.(*RingFrame); ok && rf.Sat != nil {
+				r.invSats++
+			}
 		}
-	})
+	}
+	r.invSats = 0
+	r.medium.ScanPending(r.invScanFn)
+	sats += r.invSats
 	if sats > 0 {
 		r.invSatSeenAt = now
 	}
@@ -131,16 +197,22 @@ func (r *Ring) checkInvariants(now sim.Time) {
 	}
 
 	// (b) No phantom ring members: the cyclic order, the station states and
-	// the radio layer must agree.
-	n := len(r.order)
+	// the radio layer must agree. The scan used to be quadratic (an inner
+	// later-occurrence sweep per member, plus an O(N) inOrder per station)
+	// and did an O(N) batch of map lookups every slot; the version-keyed
+	// cache precomputes the order-aligned station pointers, duplicate
+	// counts and membership stamps once per topology change, and the
+	// per-slot pass just replays them — emitting byte-identical violations
+	// in the same order the pairwise scan did.
+	if r.invVersion != r.orderVersion {
+		r.rebuildInvCache()
+	}
 	for i, id := range r.order {
-		for j := i + 1; j < n; j++ {
-			if r.order[j] == id {
-				r.violate(now, "duplicate-member",
-					fmt.Sprintf("station %d appears twice in the cyclic order", id))
-			}
+		for k := int32(0); k < r.invDup[i]; k++ {
+			r.violate(now, "duplicate-member",
+				fmt.Sprintf("station %d appears twice in the cyclic order", id))
 		}
-		st := r.stations[id]
+		st := r.invStations[i]
 		if st == nil || !st.active {
 			r.violate(now, "phantom-member",
 				fmt.Sprintf("cyclic order lists non-operating station %d", id))
@@ -150,7 +222,7 @@ func (r *Ring) checkInvariants(now sim.Time) {
 			r.violate(now, "dead-radio",
 				fmt.Sprintf("active member %d has a powered-off radio", id))
 		}
-		succ, pred := r.order[(i+1)%n], r.order[(i+n-1)%n]
+		succ, pred := r.invSucc[i], r.invPred[i]
 		if st.succ != succ || st.pred != pred {
 			r.violate(now, "order-mismatch", fmt.Sprintf(
 				"station %d has succ=%d pred=%d but the order says succ=%d pred=%d",
@@ -158,7 +230,7 @@ func (r *Ring) checkInvariants(now sim.Time) {
 		}
 	}
 	for _, st := range r.tickOrder {
-		if st.active && !r.inOrder(st.ID) {
+		if st.active && !r.invMember(st.ID) {
 			r.violate(now, "orphan-active",
 				fmt.Sprintf("active station %d is not in the cyclic order", st.ID))
 		}
@@ -169,8 +241,8 @@ func (r *Ring) checkInvariants(now sim.Time) {
 	// PrioTimer — before this PrioStats audit in the same slot — and notes a
 	// disturbance, so a working timer always pre-empts this check; tripping
 	// it means the timer was disarmed or armed with a stale bound.
-	for _, id := range r.order {
-		st := r.stations[id]
+	for i, id := range r.order {
+		st := r.invStations[i]
 		if st == nil || !st.active || st.hasSAT {
 			continue
 		}

@@ -166,6 +166,7 @@ func (r *Ring) completeJoin(ingress *Station, req JoinReqFrame, now sim.Time) {
 	}
 	r.stations[st.ID] = st
 	r.codes[st.ID] = st.Code
+	st.setSucc(oldSucc) // after the codes-map insert, so codeOf resolves
 	r.medium.SetReceiver(st.Node, st)
 	r.medium.Listen(st.Node, st.Code)
 
@@ -176,7 +177,8 @@ func (r *Ring) completeJoin(ingress *Station, req JoinReqFrame, now sim.Time) {
 			break
 		}
 	}
-	ingress.succ = st.ID
+	r.orderVersion++
+	ingress.setSucc(st.ID)
 	if osucc, ok := r.stations[oldSucc]; ok {
 		osucc.pred = st.ID
 	}

@@ -147,7 +147,7 @@ func (s *Station) handleSatRec(rec *SatRecInfo, now sim.Time) {
 	// failed station out (§2.5: "station i−1 ... sends it with the code
 	// i+1").
 	if s.succ == rec.Failed && rec.FailedNext != s.ID {
-		s.succ = rec.FailedNext
+		s.setSucc(rec.FailedNext)
 		s.Metrics.Splices++
 		// If the presumed-failed station is actually alive (pure SAT
 		// loss), it must fall silent before the SAT_REC crosses the

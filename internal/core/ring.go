@@ -50,6 +50,26 @@ type Ring struct {
 	lastDisturb  sim.Time
 	invSatSeenAt sim.Time
 
+	// Invariant-audit scratch (invariant.go): epoch-stamped per-ID counters
+	// and a per-slot station-pointer cache keep the always-on audit O(N) and
+	// allocation-free. invScanFn is the persistent ScanPending callback —
+	// rebuilding it per slot would allocate a closure on every audit.
+	invEpoch    int64
+	invScratch  []invEntry
+	invStations []*Station
+	invDup      []int32
+	invSucc     []StationID
+	invPred     []StationID
+	invVersion  int64
+	invSats     int
+	invScanFn   func(from radio.NodeID, code radio.Code, f radio.Frame)
+
+	// orderVersion counts mutations of the cyclic order (and of the
+	// stations map, which only changes alongside it); the invariant audit
+	// re-derives its order-aligned caches only when this moves. Starts at 1
+	// so a fresh ring (invVersion 0) always builds the cache.
+	orderVersion int64
+
 	// OnDeliver, when set, observes every delivered packet.
 	OnDeliver func(Packet, sim.Time)
 
@@ -128,6 +148,14 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 		m.SetReceiver(mb.Node, st)
 		m.Listen(mb.Node, mb.Code)
 	}
+	// Second pass once every code is registered: fill the cached successor
+	// transmit codes (the construction loop above cannot, because a station's
+	// successor may not have been added to r.codes yet).
+	for _, mb := range members {
+		st := r.stations[mb.ID]
+		st.setSucc(st.succ)
+	}
+	r.orderVersion = 1
 	// Every consecutive pair must be mutually reachable or the ring cannot
 	// operate.
 	for i, mb := range members {
@@ -315,8 +343,9 @@ func (r *Ring) removeFromOrder(id StationID) {
 		predID := r.order[(i+n-1)%n]
 		succID := r.order[(i+1)%n]
 		r.order = append(r.order[:i], r.order[i+1:]...)
+		r.orderVersion++
 		if p, ok := r.stations[predID]; ok && p.succ == id {
-			p.succ = succID
+			p.setSucc(succID)
 		}
 		if s, ok := r.stations[succID]; ok && s.pred == id {
 			s.pred = predID
@@ -544,10 +573,11 @@ func (r *Ring) reform(reporter StationID, now sim.Time) {
 	for _, idx := range tour {
 		r.order = append(r.order, members[idx].ID)
 	}
+	r.orderVersion++
 	n := len(r.order)
 	for i, id := range r.order {
 		st := r.stations[id]
-		st.succ = r.order[(i+1)%n]
+		st.setSucc(r.order[(i+1)%n])
 		st.pred = r.order[(i+n-1)%n]
 		st.roundsSinceRAP = 0
 	}

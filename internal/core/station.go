@@ -18,10 +18,29 @@ type Station struct {
 
 	// Ring neighbourhood. succ is where this station transmits; pred is
 	// maintained so the SAT-loss machinery can name the presumed-failed
-	// station (§2.5).
+	// station (§2.5). succCode caches codeOf(succ) — the per-slot transmit
+	// path must not pay a map lookup — and every succ assignment goes
+	// through setSucc to keep it coherent.
 	succ, pred StationID
+	succCode   radio.Code
 
 	active bool
+
+	// frameBuf recycles the frames this station transmits, alternating
+	// between two buffers per slot. A frame sent at slot t is delivered at
+	// t+1 and every receiver's reference is dropped within t+1's tick (the
+	// absorbing station copies the payload; the SatInfo pointer it may keep
+	// is a separate allocation, not part of the frame) — so the buffer sent
+	// at t is free again at t+2, exactly when the alternation reuses it.
+	// This removes the dominant steady-state allocation: one RingFrame per
+	// station per slot.
+	frameBuf [2]RingFrame
+	frameIdx uint8
+
+	// satTimeoutFn is the SAT_TIMER callback, built once: the timer re-arms
+	// every rotation, and a fresh closure per arm is a steady-state
+	// allocation.
+	satTimeoutFn func()
 
 	// Per-slot pipeline.
 	incoming     *RingFrame
@@ -66,6 +85,13 @@ type Station struct {
 	wantLeave bool
 
 	Metrics StationMetrics
+}
+
+// setSucc rewires the station's ring successor and refreshes the cached
+// transmit code. All succ mutations after construction must go through here.
+func (s *Station) setSucc(id StationID) {
+	s.succ = id
+	s.succCode = s.ring.codeOf(id)
 }
 
 // Active reports whether the station is currently an operating ring member.
@@ -258,7 +284,9 @@ func (s *Station) tick(now sim.Time) {
 	if s.held.Busy {
 		s.ring.Metrics.BusyHops++
 	}
-	frame := &RingFrame{Slot: s.held, Sat: satOut, SatRec: recOut, Leave: leaveOut}
+	frame := &s.frameBuf[s.frameIdx&1]
+	s.frameIdx++
+	frame.Slot, frame.Sat, frame.SatRec, frame.Leave = s.held, satOut, recOut, leaveOut
 	if satOut != nil && s.ring.dropNextSAT {
 		// Fault injection: the SAT frame vanishes in the air.
 		s.ring.dropNextSAT = false
@@ -267,7 +295,7 @@ func (s *Station) tick(now sim.Time) {
 		s.ring.NoteDisturbance()
 		frame.Sat = nil
 	}
-	s.ring.medium.Transmit(s.Node, s.ring.codeOf(s.succ), frame)
+	s.ring.medium.Transmit(s.Node, s.succCode, frame)
 	s.holding = false
 	s.held = SlotPayload{}
 
@@ -428,13 +456,15 @@ func (s *Station) releaseSAT(now sim.Time) *SatInfo {
 }
 
 // armSATTimer starts the local SAT_TIMER with the network's current
-// SAT_TIME bound (§2.5).
+// SAT_TIME bound (§2.5). The callback closure is built once per station and
+// reused across re-arms (once per rotation), so arming is allocation-free.
 func (s *Station) armSATTimer(now sim.Time) {
 	s.satTimer.Cancel()
+	if s.satTimeoutFn == nil {
+		s.satTimeoutFn = func() { s.onSATTimeout(s.ring.kernel.Now()) }
+	}
 	deadline := sim.Time(s.ring.satTime)
-	s.satTimer = s.ring.kernel.After(deadline, sim.PrioTimer, func() {
-		s.onSATTimeout(s.ring.kernel.Now())
-	})
+	s.satTimer = s.ring.kernel.After(deadline, sim.PrioTimer, s.satTimeoutFn)
 	_ = now
 }
 

@@ -62,29 +62,63 @@ type node struct {
 
 // listenerIndex maps each code to the sorted set of nodes subscribed to it,
 // so delivery touches only potential receivers instead of scanning every
-// node per code group (the simulator's hottest loop).
-type listenerIndex map[Code][]NodeID
+// node per code group (the simulator's hottest loop). Codes are small dense
+// integers (station i uses code i+1; joiners use a small fixed offset), so
+// the index is a slice of slices — no map hashing on the delivery path.
+type listenerIndex struct {
+	byCode [][]NodeID
+}
 
-func (ix listenerIndex) add(code Code, id NodeID) {
-	l := ix[code]
+// of returns the subscriber set for a code (nil when none).
+func (ix *listenerIndex) of(code Code) []NodeID {
+	if int(code) >= len(ix.byCode) {
+		return nil
+	}
+	return ix.byCode[code]
+}
+
+// add inserts id into code's sorted subscriber set. Like remove, it builds
+// the new set in a fresh array: Listen is reachable from receiver callbacks
+// (a readmitted station re-entering the index mid-reform), and an in-place
+// insertion-sort shift would corrupt a delivery iteration over the shared
+// backing array.
+func (ix *listenerIndex) add(code Code, id NodeID) {
+	for int(code) >= len(ix.byCode) {
+		ix.byCode = append(ix.byCode, nil)
+	}
+	l := ix.byCode[code]
 	for _, v := range l {
 		if v == id {
 			return
 		}
 	}
-	l = append(l, id)
+	next := make([]NodeID, 0, len(l)+1)
+	next = append(next, l...)
+	next = append(next, id)
 	// Keep sorted for deterministic delivery order.
-	for i := len(l) - 1; i > 0 && l[i] < l[i-1]; i-- {
-		l[i], l[i-1] = l[i-1], l[i]
+	for i := len(next) - 1; i > 0 && next[i] < next[i-1]; i-- {
+		next[i], next[i-1] = next[i-1], next[i]
 	}
-	ix[code] = l
+	ix.byCode[code] = next
 }
 
-func (ix listenerIndex) remove(code Code, id NodeID) {
-	l := ix[code]
+// remove is copy-on-remove: deliver iterates the subscriber slice it read at
+// loop entry, and a receiver callback may reentrantly Unlisten the very code
+// being delivered. An in-place append(l[:i], l[i+1:]...) would shift the
+// shared backing array under that iteration (skipping or double-delivering
+// receivers); building the shrunken set in a fresh array leaves the
+// in-flight snapshot intact.
+func (ix *listenerIndex) remove(code Code, id NodeID) {
+	if int(code) >= len(ix.byCode) {
+		return
+	}
+	l := ix.byCode[code]
 	for i, v := range l {
 		if v == id {
-			ix[code] = append(l[:i], l[i+1:]...)
+			next := make([]NodeID, 0, len(l)-1)
+			next = append(next, l[:i]...)
+			next = append(next, l[i+1:]...)
+			ix.byCode[code] = next
 			return
 		}
 	}
@@ -107,10 +141,16 @@ type Medium struct {
 	spare     []transmission // recycled backing array for pending
 	flush     bool
 
-	// Scratch buffers reused across slots to keep delivery allocation-free
-	// in steady state.
-	scratchCodes []Code
-	scratchGroup map[Code][]transmission
+	// deliverFn is m.deliver bound once at construction; passing the method
+	// value to After directly would allocate a fresh closure every slot.
+	deliverFn func()
+
+	// reach caches audibility: bit b of reach[a] is set iff node b is within
+	// a's transmission range (a != b). Rows are updated incrementally on
+	// AddNode and SetPosition, so the delivery loop answers "does tx reach
+	// this listener" with one bit test instead of a sqrt per pair.
+	reach      [][]uint64
+	reachWords int
 
 	// LossProb is the independent probability that any single frame is lost
 	// in transit even without collision (fading, interference bursts).
@@ -146,11 +186,9 @@ type IsControl interface{ Control() bool }
 // NewMedium creates a medium bound to the kernel with randomness drawn from
 // rng.
 func NewMedium(k *sim.Kernel, rng *sim.RNG) *Medium {
-	return &Medium{
-		kernel: k, rng: rng, ControlLossProb: -1,
-		listeners:    listenerIndex{},
-		scratchGroup: map[Code][]transmission{},
-	}
+	m := &Medium{kernel: k, rng: rng, ControlLossProb: -1}
+	m.deliverFn = m.deliver
+	return m
 }
 
 // AddNode registers a station at pos with the given transmission range and
@@ -160,8 +198,56 @@ func (m *Medium) AddNode(pos Position, txRange float64, r Receiver) NodeID {
 	n := &node{pos: pos, rng: txRange, listen: map[Code]bool{Broadcast: true}, receiver: r, alive: true}
 	m.nodes = append(m.nodes, n)
 	id := NodeID(len(m.nodes) - 1)
+	m.addReachNode(id)
 	m.listeners.add(Broadcast, id)
 	return id
+}
+
+// addReachNode grows the reachability matrix for a newly registered node:
+// a fresh row for it, one extra column bit in every existing row (rows grow
+// a word at each 64-node boundary), then one geometry pass to fill both.
+func (m *Medium) addReachNode(id NodeID) {
+	words := (len(m.nodes) + 63) / 64
+	if words > m.reachWords {
+		m.reachWords = words
+		for i := range m.reach {
+			m.reach[i] = append(m.reach[i], 0)
+		}
+	}
+	m.reach = append(m.reach, make([]uint64, m.reachWords))
+	m.updateReach(id)
+}
+
+// updateReach recomputes row id (who id reaches) and column id (who reaches
+// id) after a geometry change. O(N) per call, paid only on AddNode and
+// SetPosition — never on the delivery path.
+func (m *Medium) updateReach(id NodeID) {
+	row := m.reach[id]
+	for i := range row {
+		row[i] = 0
+	}
+	n := m.nodes[id]
+	w, bit := uint(id)>>6, uint64(1)<<(uint(id)&63)
+	for j, other := range m.nodes {
+		if NodeID(j) == id {
+			continue
+		}
+		d := n.pos.Dist(other.pos)
+		if d <= n.rng {
+			row[uint(j)>>6] |= 1 << (uint(j) & 63)
+		}
+		if d <= other.rng {
+			m.reach[j][w] |= bit
+		} else {
+			m.reach[j][w] &^= bit
+		}
+	}
+}
+
+// reaches reports whether a's transmissions are audible at b (b within a's
+// range, a != b) with one bit test.
+func (m *Medium) reaches(a, b NodeID) bool {
+	return m.reach[a][uint(b)>>6]&(1<<(uint(b)&63)) != 0
 }
 
 // NumNodes returns the number of registered nodes (alive or not).
@@ -170,8 +256,12 @@ func (m *Medium) NumNodes() int { return len(m.nodes) }
 // SetReceiver rebinds the protocol entity of a node.
 func (m *Medium) SetReceiver(id NodeID, r Receiver) { m.nodes[id].receiver = r }
 
-// SetPosition moves a node (mobility support).
-func (m *Medium) SetPosition(id NodeID, pos Position) { m.nodes[id].pos = pos }
+// SetPosition moves a node (mobility support) and refreshes the node's row
+// and column in the reachability cache.
+func (m *Medium) SetPosition(id NodeID, pos Position) {
+	m.nodes[id].pos = pos
+	m.updateReach(id)
+}
 
 // PositionOf returns a node's current position.
 func (m *Medium) PositionOf(id NodeID) Position { return m.nodes[id].pos }
@@ -247,8 +337,7 @@ func (m *Medium) InRange(a, b NodeID) bool {
 	if a == b {
 		return false
 	}
-	na, nb := m.nodes[a], m.nodes[b]
-	return na.pos.Dist(nb.pos) <= na.rng
+	return m.reaches(a, b)
 }
 
 // Connected reports whether a and b are mutually in range (symmetric links
@@ -283,14 +372,14 @@ func (m *Medium) Transmit(from NodeID, code Code, frame Frame) {
 	m.pending = append(m.pending, transmission{from: from, code: code, data: frame})
 	if !m.flush {
 		m.flush = true
-		m.kernel.After(1, sim.PrioControl, m.deliver)
+		m.kernel.After(1, sim.PrioControl, m.deliverFn)
 	}
 }
 
 // deliver resolves all of the previous slot's transmissions. The loop only
 // visits each code group's subscribed listeners (not every node), keeping
-// one slot's ring traffic O(N) instead of O(N²); scratch buffers are
-// reused so steady-state delivery does not allocate.
+// one slot's ring traffic O(N) instead of O(N²), and runs allocation-free:
+// the batch is grouped in place and audibility is a reach-cache bit test.
 func (m *Medium) deliver() {
 	// Double-buffer the pending list: receivers may (in principle) enqueue
 	// new transmissions while we iterate the old batch.
@@ -302,22 +391,26 @@ func (m *Medium) deliver() {
 		return
 	}
 	// Group concurrent transmissions per code to detect collisions; codes
-	// are visited in sorted order so delivery is deterministic.
-	byCode := m.scratchGroup
-	codes := m.scratchCodes[:0]
-	for _, tx := range batch {
-		g := byCode[tx.code]
-		if len(g) == 0 {
-			// First transmission on this code this slot (reset groups keep
-			// their zero-length backing arrays between slots).
-			codes = append(codes, tx.code)
+	// are visited in sorted order so delivery is deterministic. A stable
+	// insertion sort groups the batch in place: stations transmit in ID
+	// order within a slot, so the batch arrives nearly sorted and the sort
+	// is effectively linear. (Within one code the relative order cannot
+	// matter: one audible transmission delivers it regardless of position,
+	// two corrupt the slot regardless of order.)
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && batch[j].code < batch[j-1].code; j-- {
+			batch[j], batch[j-1] = batch[j-1], batch[j]
 		}
-		byCode[tx.code] = append(g, tx)
 	}
-	sortCodes(codes)
-	for _, code := range codes {
-		txs := byCode[code]
-		for _, id := range m.listeners[code] {
+	for lo := 0; lo < len(batch); {
+		code := batch[lo].code
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].code == code {
+			hi++
+		}
+		txs := batch[lo:hi]
+		lo = hi
+		for _, id := range m.listeners.of(code) {
 			n := m.nodes[id]
 			if !n.alive {
 				continue
@@ -331,7 +424,7 @@ func (m *Medium) deliver() {
 				if tx.from == id {
 					continue // a station does not hear itself
 				}
-				if m.nodes[tx.from].pos.Dist(n.pos) <= m.nodes[tx.from].rng {
+				if m.reaches(tx.from, id) {
 					heard++
 					only = tx
 					if heard > 1 {
@@ -363,11 +456,6 @@ func (m *Medium) deliver() {
 			}
 		}
 	}
-	// Reset scratch state for the next slot.
-	for _, code := range codes {
-		byCode[code] = byCode[code][:0]
-	}
-	m.scratchCodes = codes[:0]
 }
 
 // ScanPending visits every transmission queued during the current slot (to
@@ -380,17 +468,13 @@ func (m *Medium) ScanPending(fn func(from NodeID, code Code, f Frame)) {
 	}
 }
 
-// sortCodes is a small insertion sort: the per-slot code count is tiny and
-// usually nearly sorted, so this beats sort.Slice without allocating.
-func sortCodes(cs []Code) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
-}
-
 func (m *Medium) lose(f Frame) bool {
+	if m.LossProb <= 0 && m.ControlLossProb <= 0 {
+		// Either candidate probability is ≤ 0, and RNG.Bool(p≤0) returns
+		// false without drawing — so skipping the control-frame type switch
+		// entirely leaves the random stream untouched.
+		return false
+	}
 	p := m.LossProb
 	if c, ok := f.(IsControl); ok && c.Control() && m.ControlLossProb >= 0 {
 		p = m.ControlLossProb

@@ -285,3 +285,90 @@ func TestMultipleFramesSameTransmitterDifferentCodes(t *testing.T) {
 		t.Fatalf("b=%v c=%v", rx1.frames, rx2.frames)
 	}
 }
+
+// reentrantReceiver mutates the listener index from inside the delivery
+// callback — the reentrancy that protocol code exercises for real when an
+// OnReceive handler triggers a reform or an exile.
+type reentrantReceiver struct {
+	recorder
+	onReceive func()
+}
+
+func (r *reentrantReceiver) OnReceive(code Code, f Frame, from NodeID) {
+	r.recorder.OnReceive(code, f, from)
+	if r.onReceive != nil {
+		r.onReceive()
+	}
+}
+
+// TestUnlistenDuringDeliver: a receiver that unsubscribes listeners while
+// the medium is iterating the same code's listener set must not corrupt the
+// iteration. The old in-place remove shifted the shared backing array under
+// the iterator's feet, silently skipping the listener that moved into the
+// freed slot; removal now snapshots (copy-on-remove), so every node that was
+// subscribed when the slot resolved still hears the frame.
+func TestUnlistenDuringDeliver(t *testing.T) {
+	k, m := setup(1)
+	const code = 7
+	rxs := make([]*reentrantReceiver, 3)
+	ids := make([]NodeID, 3)
+	for i := range rxs {
+		rxs[i] = &reentrantReceiver{}
+		ids[i] = m.AddNode(Position{float64(i), 0}, 10, rxs[i])
+		m.Listen(ids[i], code)
+	}
+	// Delivery visits listeners in ascending node ID. The first (lowest-ID)
+	// listener unsubscribes everyone, itself included, mid-iteration.
+	rxs[0].onReceive = func() {
+		for _, id := range ids {
+			m.Unlisten(id, code)
+		}
+	}
+	tx := m.AddNode(Position{0, 1}, 10, nil)
+	m.Transmit(tx, code, "payload")
+	k.RunAll()
+	for i, rx := range rxs {
+		if len(rx.frames) != 1 {
+			t.Errorf("listener %d heard %d frames, want 1 (iteration corrupted)",
+				i, len(rx.frames))
+		}
+	}
+	// The unsubscription itself must still have taken effect for later slots.
+	m.Transmit(tx, code, "late")
+	k.RunAll()
+	for i, rx := range rxs {
+		if len(rx.frames) != 1 {
+			t.Errorf("listener %d heard %d frames after unlisten, want still 1",
+				i, len(rx.frames))
+		}
+	}
+}
+
+// TestListenDuringDeliver: the mirror case — subscribing mid-delivery (a
+// readmitted station re-entering the index) must neither corrupt the
+// iteration nor deliver the in-flight frame to the late subscriber.
+func TestListenDuringDeliver(t *testing.T) {
+	k, m := setup(1)
+	const code = 9
+	late := &recorder{}
+	lateID := m.AddNode(Position{3, 0}, 10, late)
+	first := &reentrantReceiver{}
+	firstID := m.AddNode(Position{0, 0}, 10, first)
+	m.Listen(firstID, code)
+	first.onReceive = func() { m.Listen(lateID, code) }
+
+	tx := m.AddNode(Position{1, 1}, 10, nil)
+	m.Transmit(tx, code, "now")
+	k.RunAll()
+	if len(first.frames) != 1 {
+		t.Fatalf("subscribed listener heard %d frames, want 1", len(first.frames))
+	}
+	if len(late.frames) != 0 {
+		t.Fatalf("mid-slot subscriber heard the in-flight frame")
+	}
+	m.Transmit(tx, code, "later")
+	k.RunAll()
+	if len(late.frames) != 1 {
+		t.Fatalf("late subscriber heard %d frames in the next slot, want 1", len(late.frames))
+	}
+}

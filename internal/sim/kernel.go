@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -75,36 +74,88 @@ func (h Handle) Scheduled() bool {
 	return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead && h.ev.idx >= 0
 }
 
+// eventQueue is a hand-rolled binary min-heap on (at, prio, seq). It used to
+// go through container/heap; the hot path fires millions of events per run,
+// and the interface indirection (Less/Swap calls, any-boxing in Push/Pop) was
+// measurable in profiles. Event order is total — seq is unique — so any
+// heap layout pops events in exactly the same order and determinism is
+// unaffected by the implementation swap.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].prio != q[j].prio {
-		return q[i].prio < q[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
+
+func (q *eventQueue) push(ev *event) {
 	ev.idx = len(*q)
 	*q = append(*q, ev)
+	q.siftUp(ev.idx)
 }
-func (q *eventQueue) Pop() any {
+
+func (q *eventQueue) pop() *event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	ev := old[0]
+	old[0] = old[n]
+	old[0].idx = 0
+	old[n] = nil
+	*q = old[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
 	ev.idx = -1
-	*q = old[:n-1]
 	return ev
+}
+
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].idx = i
+		i = parent
+	}
+	q[i] = ev
+	ev.idx = i
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	ev := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].idx = i
+		i = child
+	}
+	q[i] = ev
+	ev.idx = i
+}
+
+// init restores the heap invariant over arbitrary contents (used after the
+// eager dead-event sweep).
+func (q eventQueue) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 // Kernel is a single-threaded discrete-event scheduler.
@@ -159,7 +210,7 @@ func (k *Kernel) At(t Time, prio Priority, fn func()) Handle {
 		ev = &event{at: t, prio: prio, seq: k.seq, fn: fn}
 	}
 	k.seq++
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
 	return Handle{k: k, ev: ev, gen: ev.gen}
 }
 
@@ -201,7 +252,7 @@ func (k *Kernel) reap() {
 	for i, ev := range k.queue {
 		ev.idx = i
 	}
-	heap.Init(&k.queue)
+	k.queue.init()
 	k.dead = 0
 }
 
@@ -229,23 +280,28 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
+// fire executes an already-popped live event.
+func (k *Kernel) fire(ev *event) {
+	if ev.at < k.now {
+		panic("sim: time went backwards")
+	}
+	k.now = ev.at
+	k.fired++
+	fn := ev.fn
+	k.recycle(ev)
+	fn()
+}
+
 // Step executes the single next event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
+		ev := k.queue.pop()
 		if ev.dead {
 			k.dead--
 			k.recycle(ev)
 			continue
 		}
-		if ev.at < k.now {
-			panic("sim: time went backwards")
-		}
-		k.now = ev.at
-		k.fired++
-		fn := ev.fn
-		k.recycle(ev)
-		fn()
+		k.fire(ev)
 		return true
 	}
 	return false
@@ -254,21 +310,23 @@ func (k *Kernel) Step() bool {
 // Run executes events until the queue drains, Stop is called, or the clock
 // passes until (events at exactly until still run). It returns the time at
 // which execution stopped.
+//
+// The loop inspects the queue head in place: events at or before until pop
+// and fire directly, and when the head is in the future the clock jumps to
+// until in one step — empty slots between events are never iterated, so a
+// sparse schedule advances in O(events), not O(slots).
 func (k *Kernel) Run(until Time) Time {
 	k.stopped = false
 	for !k.stopped {
-		if len(k.queue) == 0 {
-			break
-		}
 		next := k.peek()
 		if next == nil {
 			break
 		}
 		if next.at > until {
 			k.now = until
-			break
+			return k.now
 		}
-		k.Step()
+		k.fire(k.queue.pop())
 	}
 	if k.now < until && len(k.queue) == 0 {
 		k.now = until
@@ -288,7 +346,7 @@ func (k *Kernel) peek() *event {
 	for len(k.queue) > 0 {
 		ev := k.queue[0]
 		if ev.dead {
-			heap.Pop(&k.queue)
+			k.queue.pop()
 			k.dead--
 			k.recycle(ev)
 			continue

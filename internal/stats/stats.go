@@ -140,11 +140,18 @@ func (h *Histogram) Max() int64 { return h.maxSeen }
 
 // Quantile returns the smallest value v such that at least q of the samples
 // are <= v. Overflowed samples count as larger than every bucket.
+//
+// Edge cases are total and explicit: an empty histogram answers 0 for every
+// q; q <= 0 (and NaN) answers the smallest recorded value; q >= 1 answers
+// the largest — via maxSeen when any sample overflowed the bucket range, so
+// the answer never understates the tail.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
+		// Without the NaN guard the int64(math.Ceil(q*n)) conversion below
+		// is platform-defined garbage.
 		q = 0
 	}
 	if q > 1 {
@@ -185,14 +192,28 @@ type TimeWeighted struct {
 	started  bool
 	startT   int64
 	maxValue float64
+
+	// OutOfOrder counts updates whose timestamp preceded the previous one.
+	// Such an update used to subtract area from the integral AND rewind the
+	// clock so the next in-order update double-counted the interval; it is
+	// now clamped to the previous timestamp (the value change still takes
+	// effect, with zero elapsed weight) and recorded here so the upstream
+	// ordering bug stays diagnosable.
+	OutOfOrder int64
 }
 
-// Update records that the quantity changed to v at time t.
+// Update records that the quantity changed to v at time t. Timestamps must
+// be non-decreasing; an out-of-order t is clamped to the previous timestamp
+// and counted in OutOfOrder.
 func (tw *TimeWeighted) Update(t int64, v float64) {
 	if !tw.started {
 		tw.started = true
 		tw.startT = t
 	} else {
+		if t < tw.lastT {
+			tw.OutOfOrder++
+			t = tw.lastT
+		}
 		tw.area += tw.lastV * float64(t-tw.lastT)
 	}
 	tw.lastT = t
@@ -202,10 +223,18 @@ func (tw *TimeWeighted) Update(t int64, v float64) {
 	}
 }
 
-// Average returns the time average up to time t.
+// Average returns the time average up to time t. A query before the last
+// update is answered as of the last update: extrapolating backwards would
+// subtract the final segment from the integral.
 func (tw *TimeWeighted) Average(t int64) float64 {
 	if !tw.started || t <= tw.startT {
 		return 0
+	}
+	if t < tw.lastT {
+		t = tw.lastT
+		if t <= tw.startT {
+			return 0
+		}
 	}
 	area := tw.area + tw.lastV*float64(t-tw.lastT)
 	return area / float64(t-tw.startT)

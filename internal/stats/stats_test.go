@@ -247,3 +247,83 @@ func TestPercentile(t *testing.T) {
 		t.Fatal("input mutated")
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the total, explicit edge-case contract
+// of Quantile: empty → 0, q<=0 (and NaN) → smallest recorded value, q>=1 →
+// largest (via maxSeen when samples overflowed the bucket range).
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	filled := NewHistogram(100)
+	for v := int64(5); v <= 60; v++ {
+		filled.Add(v)
+	}
+	withOverflow := NewHistogram(10)
+	withOverflow.Add(3)
+	withOverflow.Add(7)
+	withOverflow.Add(5000) // overflows: larger than every bucket
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want int64
+	}{
+		{"empty/q=0.5", NewHistogram(10), 0.5, 0},
+		{"empty/q=0", NewHistogram(10), 0, 0},
+		{"empty/q=2", NewHistogram(10), 2, 0},
+		{"q=0 is min", filled, 0, 5},
+		{"q<0 clamps to min", filled, -0.3, 5},
+		{"q=NaN clamps to min", filled, math.NaN(), 5},
+		{"q=1 is max", filled, 1, 60},
+		{"q>1 clamps to max", filled, 7.5, 60},
+		{"q=+inf clamps to max", filled, math.Inf(1), 60},
+		{"q=-inf clamps to min", filled, math.Inf(-1), 5},
+		{"overflow/q=1 answers maxSeen", withOverflow, 1, 5000},
+		{"overflow/q=0.5 stays interior", withOverflow, 0.5, 7},
+		{"overflow/q=0 is min", withOverflow, 0, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestTimeWeightedOutOfOrder: a timestamp that goes backwards must not
+// subtract area or rewind the clock — it is clamped to the previous
+// timestamp, the value change still takes effect, and the incident is
+// counted so the upstream ordering bug stays visible.
+func TestTimeWeightedOutOfOrder(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(0, 2)  // 2 until t=10
+	tw.Update(10, 6) // 6 until t=20
+	tw.Update(5, 4)  // out of order: clamps to t=10, value becomes 4
+	if tw.OutOfOrder != 1 {
+		t.Fatalf("OutOfOrder = %d, want 1", tw.OutOfOrder)
+	}
+	tw.Update(20, 0) // 4 from t=10..20
+	got := tw.Average(20)
+	want := (2.0*10 + 4.0*10) / 20
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg %f want %f", got, want)
+	}
+	if tw.Maximum() != 6 {
+		t.Fatalf("max %f want 6 (value still observed)", tw.Maximum())
+	}
+
+	// A backwards Average query answers as of the last update instead of
+	// extrapolating a negative final segment.
+	var tw2 TimeWeighted
+	tw2.Update(0, 0)
+	tw2.Update(10, 8)
+	asOfLast := tw2.Average(10)
+	if got := tw2.Average(5); math.Abs(got-asOfLast) > 1e-9 {
+		t.Fatalf("backwards query %f, want %f", got, asOfLast)
+	}
+
+	// Degenerate: single update, then a backwards query.
+	var tw3 TimeWeighted
+	tw3.Update(10, 5)
+	if got := tw3.Average(3); got != 0 {
+		t.Fatalf("pre-start query = %f, want 0", got)
+	}
+}

@@ -112,6 +112,10 @@ type Generator struct {
 	Emitted int64
 	seq     int64
 	stopped bool
+
+	// stepFn is g.step bound once at Attach; passing the method value
+	// directly to After would allocate a fresh closure per arrival.
+	stepFn func()
 }
 
 // Validate rejects nonsensical specs.
@@ -144,11 +148,12 @@ func Attach(k *sim.Kernel, rng *sim.RNG, target Target, spec Spec) *Generator {
 		panic(err)
 	}
 	g := &Generator{kernel: k, rng: rng, target: target, spec: spec}
+	g.stepFn = g.step
 	start := spec.Start
 	if start < k.Now() {
 		start = k.Now()
 	}
-	k.At(start, sim.PrioTraffic, g.step)
+	k.At(start, sim.PrioTraffic, g.stepFn)
 	return g
 }
 
@@ -201,7 +206,7 @@ func (g *Generator) step() {
 	if next < 1 {
 		next = 1
 	}
-	g.kernel.After(next, sim.PrioTraffic, g.step)
+	g.kernel.After(next, sim.PrioTraffic, g.stepFn)
 }
 
 // Saturate pre-loads the target with count packets of each class/dest pair,
