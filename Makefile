@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-baseline bench-check bench-trajectory cover examples experiments serve cluster-smoke clean
+.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-trajectory cover examples experiments serve cluster-smoke clean
 
 all: build vet test
 
@@ -23,6 +23,16 @@ race:
 
 # check is the full pre-merge gate: compile, static analysis, tests, races.
 check: build vet test race
+
+# fuzz runs each JSON-decoder fuzz target for FUZZTIME (go requires one
+# -fuzz pattern per invocation). New inputs that trip a failure are written
+# to testdata/fuzz/ — commit the minimised case as a regression seed.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseScenario$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz='^FuzzDestSpec$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz='^FuzzFaultSpec$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz='^FuzzSubmitRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -60,6 +60,9 @@ func main() {
 	health := flag.Duration("health", time.Second, "health-probe interval")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request timeout to workers")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for outstanding jobs")
+	httpTimeout := flag.Duration("http-timeout", 30*time.Second, "per-request deadline on inbound API endpoints (debug endpoints exempt)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logEntries := flag.Int("log-entries", 0, "access-log ring size for /debug/log (0 = default)")
 	flag.Parse()
 
 	if len(workers) == 0 {
@@ -75,6 +78,9 @@ func main() {
 		PollInterval:   *poll,
 		HealthInterval: *health,
 		RequestTimeout: *reqTimeout,
+		HTTPTimeout:    *httpTimeout,
+		EnablePprof:    *pprofOn,
+		LogEntries:     *logEntries,
 	})
 	if err != nil {
 		log.Fatalf("wrtcoord: %v", err)

@@ -38,12 +38,16 @@ func main() {
 	maxBatch := flag.Int("max-batch", 256, "max scenarios per submission")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
 	workerID := flag.String("id", "", "worker identity when serving behind a wrtcoord cluster (surfaced on /healthz, /metrics, /v1/stats)")
+	httpTimeout := flag.Duration("http-timeout", 30*time.Second, "per-request deadline on API endpoints (debug endpoints exempt)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logEntries := flag.Int("log-entries", 0, "access-log ring size for /debug/log (0 = default)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
 		Workers: *workers, QueueCapacity: *queueCap,
 		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
 		MaxBatch: *maxBatch, WorkerID: *workerID,
+		RequestTimeout: *httpTimeout, EnablePprof: *pprofOn, LogEntries: *logEntries,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,126 @@
+package wrtring
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// These fuzz targets guard the strict JSON decoders that stand between the
+// network and the simulator: arbitrary bytes must never panic the decoder,
+// and anything the decoder accepts must survive an encode → decode → encode
+// round trip byte-identically (the canonical form is a fixpoint). The second
+// property is what catches asymmetric marshal/unmarshal pairs — a field the
+// encoder emits that the strict decoder then rejects would strand every
+// scenario file the tooling writes.
+//
+// Run with `make fuzz` (or `go test -fuzz=FuzzParseScenario -fuzztime 30s .`).
+// Seed corpora live in testdata/fuzz/.
+
+func FuzzParseScenario(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"N": 10, "Seed": 1}`),
+		[]byte(`{"N": 6, "Seed": 7, "Duration": 2000, "Sources": [{"Station": -1, "Kind": "cbr", "Class": "premium", "Period": 50, "Dest": {"kind": "opposite"}}]}`),
+		[]byte(`{"N": 8, "Fault": {"Loss": {"Mean": 0.1, "BurstLen": 4}, "Crashes": [{"At": 100, "Station": 2, "For": 50}]}}`),
+		[]byte(`{"N": 8, "Typo": true}`),
+		[]byte(`not json`),
+		[]byte(`{"N": 1e309}`),
+		[]byte(`{"Sources": [{"Dest": {"kind": "nonsense"}}]}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeScenario(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-encode: %v\ninput: %q", err, data)
+		}
+		s2, err := ParseScenario(enc)
+		if err != nil {
+			t.Fatalf("encoder emits what the strict decoder rejects: %v\nencoded: %s", err, enc)
+		}
+		enc2, err := EncodeScenario(s2)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped scenario: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form is not a fixpoint:\nfirst:  %s\nsecond: %s", enc, enc2)
+		}
+	})
+}
+
+func FuzzDestSpec(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"kind": "fixed", "arg": 3}`),
+		[]byte(`{"kind": "uniform"}`),
+		[]byte(`{"kind": "opposite"}`),
+		[]byte(`{"kind": "offset", "arg": -2}`),
+		[]byte(`{}`),
+		[]byte(`{"kind": "teleport"}`),
+		[]byte(`{"kind": "fixed", "station": 3}`),
+		[]byte(`null`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d DestSpec
+		if err := json.Unmarshal(data, &d); err != nil {
+			return
+		}
+		enc, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted DestSpec does not marshal: %v\ninput: %q", err, data)
+		}
+		var d2 DestSpec
+		if err := json.Unmarshal(enc, &d2); err != nil {
+			t.Fatalf("marshalled DestSpec rejected by its own decoder: %v\nencoded: %s", err, enc)
+		}
+		enc2, err := json.Marshal(d2)
+		if err != nil {
+			t.Fatalf("re-marshalling DestSpec: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("DestSpec canonical form is not a fixpoint: %s vs %s", enc, enc2)
+		}
+	})
+}
+
+func FuzzFaultSpec(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"Loss": {"Mean": 0.05}}`),
+		[]byte(`{"Loss": {"Mean": 0.1, "BurstLen": 8, "PerCode": true}}`),
+		[]byte(`{"Crashes": [{"At": 10, "Station": 0, "For": 100}], "JoinEvery": 500.5, "LeaveEvery": 0}`),
+		[]byte(`{"Loss": {"PGoodBad": 0.01, "PBadGood": 0.2, "LossGood": 0, "LossBad": 0.9}}`),
+		[]byte(`{"Unknown": 1}`),
+		[]byte(`{"Loss": null, "Crashes": null}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode strictly, as ParseScenario does for the embedded field.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var fs FaultSpec
+		if err := dec.Decode(&fs); err != nil {
+			return
+		}
+		enc, err := json.Marshal(fs)
+		if err != nil {
+			t.Fatalf("accepted FaultSpec does not marshal: %v\ninput: %q", err, data)
+		}
+		dec2 := json.NewDecoder(bytes.NewReader(enc))
+		dec2.DisallowUnknownFields()
+		var fs2 FaultSpec
+		if err := dec2.Decode(&fs2); err != nil {
+			t.Fatalf("marshalled FaultSpec rejected by the strict decoder: %v\nencoded: %s", err, enc)
+		}
+	})
+}

@@ -492,3 +492,94 @@ func TestClusterMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusGhostWorker: a done job recorded against a worker ID the
+// coordinator does not know must answer with the "result unavailable"
+// recovery hint — the old code indexed c.workers[workerID] without a guard
+// and dereferenced the nil handle, panicking the status endpoint.
+func TestStatusGhostWorker(t *testing.T) {
+	f := newFleet(t, 1, Config{})
+
+	f.coord.mu.Lock()
+	f.coord.jobs["ghost-job"] = &clusterJob{
+		id: "ghost-job", state: serve.StateDone, workerID: "ghost",
+	}
+	f.coord.mu.Unlock()
+
+	resp, err := http.Get(f.front.URL + "/v1/runs/ghost-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ghost-worker status: HTTP %d, want 200 with recovery hint", resp.StatusCode)
+	}
+	var st serve.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "ghost-job" || st.Status != serve.StateDone.String() {
+		t.Fatalf("ghost-worker snapshot: %+v", st)
+	}
+	if !strings.Contains(st.Error, "result unavailable") || !strings.Contains(st.Error, "ghost") {
+		t.Fatalf("missing recovery hint: %q", st.Error)
+	}
+
+	// The endpoint survived — an ordinary run still round-trips.
+	ids := f.submitAll(t, []wrtring.Scenario{fastScenario(1)})
+	if st := f.waitAll(t, ids)[0]; st.Result == nil {
+		t.Fatalf("run after ghost lookup: %+v", st)
+	}
+}
+
+// TestClusterPartialBatchKeepsAdmittedIDs mirrors the serve-side regression
+// on the coordinator: with one worker and MaxPerWorker=1 the first slow
+// scenario is admitted and the rest are deterministically saturated
+// (coordinator depth only decrements at terminal state), so the 429 response
+// must still carry the admitted job's ID alongside the rejections.
+func TestClusterPartialBatchKeepsAdmittedIDs(t *testing.T) {
+	f := newFleet(t, 1, Config{MaxPerWorker: 1, RetryAfter: 3 * time.Second})
+
+	var req serve.SubmitRequest
+	for seed := uint64(1); seed <= 3; seed++ {
+		b, err := json.Marshal(slowScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Scenarios = append(req.Scenarios, b)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.front.URL+"/v1/runs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: HTTP %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", got)
+	}
+	var out serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("429 body is not a SubmitResponse: %v", err)
+	}
+	if len(out.Runs) != 3 {
+		t.Fatalf("%d runs, want 3", len(out.Runs))
+	}
+	if out.Runs[0].Status != serve.SubmitQueued || out.Runs[0].ID == "" {
+		t.Fatalf("admitted run lost: %+v", out.Runs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if out.Runs[i].Status != "rejected" || out.Runs[i].ID == "" {
+			t.Fatalf("run %d: %+v, want rejected with ID", i, out.Runs[i])
+		}
+	}
+	// The admitted job's ID is live: the coordinator tracks and finishes it.
+	if st := f.waitAll(t, []string{out.Runs[0].ID})[0]; st.Result == nil {
+		t.Fatalf("admitted run never produced a result: %+v", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/httpx"
 	"github.com/rtnet/wrtring/internal/serve"
 	"github.com/rtnet/wrtring/internal/stats"
 )
@@ -52,6 +53,17 @@ type Config struct {
 	MaxBatch     int
 	MaxBodyBytes int64
 	RetryAfter   time.Duration
+	// HTTPTimeout bounds each inbound API request end to end
+	// (<= 0: httpx.DefaultRequestTimeout); distinct from RequestTimeout,
+	// which bounds the coordinator's own calls to workers. Debug endpoints
+	// are exempt.
+	HTTPTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/
+	// (cmd/wrtcoord -pprof).
+	EnablePprof bool
+	// LogEntries sizes the /debug/log access-log ring
+	// (<= 0: httpx.DefaultLogEntries).
+	LogEntries int
 	// FinishedRecords bounds retained terminal job records
 	// (<= 0: serve.DefaultFinishedRecords).
 	FinishedRecords int
@@ -95,7 +107,7 @@ type Coordinator struct {
 	ring    *Ring
 	workers map[string]*worker
 	order   []*worker // config order, for stable metrics/iteration
-	mux     *http.ServeMux
+	surface *httpx.Surface
 	logf    func(format string, args ...any)
 
 	ctx    context.Context
@@ -176,9 +188,15 @@ func New(cfg Config) (*Coordinator, error) {
 	ids := make([]string, 0, len(cfg.Workers))
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:         cfg,
-		workers:     make(map[string]*worker, len(cfg.Workers)),
-		mux:         http.NewServeMux(),
+		cfg:     cfg,
+		workers: make(map[string]*worker, len(cfg.Workers)),
+		surface: httpx.NewSurface(httpx.Config{
+			RequestTimeout: cfg.HTTPTimeout,
+			MaxBodyBytes:   cfg.MaxBodyBytes,
+			Pprof:          cfg.EnablePprof,
+			LogEntries:     cfg.LogEntries,
+			Logf:           cfg.Logf,
+		}),
 		logf:        cfg.Logf,
 		ctx:         ctx,
 		cancel:      cancel,
@@ -206,10 +224,11 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.ring = NewRing(ids, cfg.Replicas)
 
-	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
-	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
-	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
-	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux := c.surface.Mux()
+	mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 
 	for _, w := range c.order {
 		for i := 0; i < cfg.MaxInflight; i++ {
@@ -222,8 +241,8 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Handler returns the HTTP handler (also usable under httptest).
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+// Handler returns the composed HTTP stack (also usable under httptest).
+func (c *Coordinator) Handler() http.Handler { return c.surface.Handler() }
 
 // Submit admits one scenario: it is routed to its hash-ring owner, coalesced
 // onto an identical in-flight job, or answered from coordinator memory when

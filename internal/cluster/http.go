@@ -1,17 +1,14 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
-	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/httpx"
 	"github.com/rtnet/wrtring/internal/serve"
 )
 
@@ -19,62 +16,21 @@ import (
 // /v1/runs protocol as wrtserved — same request/response bodies
 // (serve.SubmitRequest etc.), same status strings, same backpressure
 // headers — so any client, including serve.Client and cmd/wrtsweep's remote
-// mode, targets a single node or a cluster interchangeably.
+// mode, targets a single node or a cluster interchangeably. The submit
+// batch loop itself is serve.HandleBatchSubmit, shared with wrtserved, so
+// the partial-admission contract (admitted IDs always reach the client)
+// cannot drift between the two servers.
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	var req serve.SubmitRequest
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
-		return
-	}
-	if len(req.Scenarios) == 0 {
-		httpError(w, http.StatusBadRequest, "no scenarios in request")
-		return
-	}
-	if len(req.Scenarios) > c.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds the %d-scenario limit", len(req.Scenarios), c.cfg.MaxBatch))
-		return
-	}
-
-	resp := serve.SubmitResponse{Runs: make([]serve.SubmitRun, len(req.Scenarios))}
-	status := http.StatusOK
-	rejected := false
-	for i, raw := range req.Scenarios {
-		scenario, err := wrtring.ParseScenario(raw)
-		if err != nil {
-			resp.Runs[i] = serve.SubmitRun{Status: "invalid", Error: err.Error()}
-			status = http.StatusBadRequest
-			continue
-		}
-		id, outcome, err := c.Submit(scenario)
-		switch {
-		case errors.Is(err, ErrDraining):
-			serve.SetRetryAfter(w.Header(), c.cfg.RetryAfter)
-			httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
-			return
-		case errors.Is(err, ErrNoWorkers):
-			serve.SetRetryAfter(w.Header(), c.cfg.RetryAfter)
-			httpError(w, http.StatusServiceUnavailable, ErrNoWorkers.Error())
-			return
-		case errors.Is(err, ErrSaturated):
-			resp.Runs[i] = serve.SubmitRun{ID: id, Status: "rejected", Error: err.Error()}
-			rejected = true
-		case err != nil:
-			resp.Runs[i] = serve.SubmitRun{Status: "invalid", Error: err.Error()}
-			status = http.StatusBadRequest
-		default:
-			resp.Runs[i] = serve.SubmitRun{ID: id, Status: outcome}
-		}
-	}
-	if rejected && status == http.StatusOK {
-		status = http.StatusTooManyRequests
-		serve.SetRetryAfter(w.Header(), c.cfg.RetryAfter)
-	}
-	writeJSON(w, status, resp)
+	serve.HandleBatchSubmit(w, r, serve.BatchSubmitOptions{
+		MaxBatch:   c.cfg.MaxBatch,
+		RetryAfter: c.cfg.RetryAfter,
+		Submit:     c.Submit,
+		Fatal: func(err error) bool {
+			return errors.Is(err, ErrDraining) || errors.Is(err, ErrNoWorkers)
+		},
+		Reject: func(err error) bool { return errors.Is(err, ErrSaturated) },
+	})
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -83,7 +39,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.jobs[id]
 	if !ok {
 		c.mu.Unlock()
-		httpError(w, http.StatusNotFound,
+		httpx.Error(w, r, http.StatusNotFound,
 			"unknown run ID (never submitted, or its record aged out; resubmit the scenario)")
 		return
 	}
@@ -96,23 +52,32 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 
 	if state != serve.StateDone {
-		writeJSON(w, http.StatusOK, snapshot)
+		httpx.WriteJSON(w, http.StatusOK, snapshot)
 		return
 	}
 	// Done: the result bytes live in the owner worker's cache shard. Proxy
 	// them through; on any failure the job stays "done" (the work happened)
 	// with a recovery hint — resubmitting recomputes the identical bytes.
-	worker := c.workers[workerID]
+	// The worker handle can be missing entirely (a job recorded against a
+	// worker the coordinator no longer knows, e.g. after a config change);
+	// that is the same recovery case, not a panic.
+	worker, ok := c.workers[workerID]
+	if !ok || worker == nil {
+		snapshot.Error = fmt.Sprintf(
+			"result unavailable from worker %q (unknown or removed); resubmit the scenario to recompute", workerID)
+		httpx.WriteJSON(w, http.StatusOK, snapshot)
+		return
+	}
 	code, st, err := worker.client.Status(r.Context(), id)
 	if err != nil || code != http.StatusOK || st.Result == nil {
 		snapshot.Error = fmt.Sprintf(
 			"result unavailable from worker %s (evicted or worker lost); resubmit the scenario to recompute", workerID)
-		writeJSON(w, http.StatusOK, snapshot)
+		httpx.WriteJSON(w, http.StatusOK, snapshot)
 		return
 	}
 	snapshot.Result = st.Result
 	snapshot.TraceEvents = st.TraceEvents
-	writeJSON(w, http.StatusOK, snapshot)
+	httpx.WriteJSON(w, http.StatusOK, snapshot)
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -128,34 +93,27 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // simply absent from that section, flagged by its up gauge.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := c.Stats()
-	var b bytes.Buffer
-	metric := func(name string, v any, help string) {
-		fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
-		fmt.Fprintf(&b, "%s %v\n", name, v)
-	}
-	metric("wrtcoord_workers", len(c.order), "configured workers")
-	metric("wrtcoord_workers_live", st.LiveWorkers, "workers currently passing health checks")
-	metric("wrtcoord_draining", boolMetric(st.Draining), "1 while graceful shutdown is in progress")
-	metric("wrtcoord_admitted_total", st.Admitted, "jobs admitted by the coordinator")
-	metric("wrtcoord_completed_total", st.Completed, "jobs completed on a worker")
-	metric("wrtcoord_failed_total", st.Failed, "jobs terminally failed")
-	metric("wrtcoord_dropped_total", st.Dropped, "jobs abandoned during shutdown")
-	metric("wrtcoord_rejected_total", st.Rejected, "submissions refused (saturation, draining, no workers)")
-	metric("wrtcoord_coalesced_total", st.Coalesced, "duplicate submissions folded onto in-flight jobs")
-	metric("wrtcoord_redispatched_total", st.Redispatched, "job moves to another worker after a failure")
-	metric("wrtcoord_remote_cache_hits_total", st.RemoteCacheHits, "dispatches answered from a worker's cache shard")
+	var m httpx.Metrics
+	m.Metric("wrtcoord_workers", len(c.order), "configured workers")
+	m.Metric("wrtcoord_workers_live", st.LiveWorkers, "workers currently passing health checks")
+	m.Metric("wrtcoord_draining", httpx.BoolMetric(st.Draining), "1 while graceful shutdown is in progress")
+	m.Metric("wrtcoord_admitted_total", st.Admitted, "jobs admitted by the coordinator")
+	m.Metric("wrtcoord_completed_total", st.Completed, "jobs completed on a worker")
+	m.Metric("wrtcoord_failed_total", st.Failed, "jobs terminally failed")
+	m.Metric("wrtcoord_dropped_total", st.Dropped, "jobs abandoned during shutdown")
+	m.Metric("wrtcoord_rejected_total", st.Rejected, "submissions refused (saturation, draining, no workers)")
+	m.Metric("wrtcoord_coalesced_total", st.Coalesced, "duplicate submissions folded onto in-flight jobs")
+	m.Metric("wrtcoord_redispatched_total", st.Redispatched, "job moves to another worker after a failure")
+	m.Metric("wrtcoord_remote_cache_hits_total", st.RemoteCacheHits, "dispatches answered from a worker's cache shard")
 
 	scrapes := c.scrapeWorkers(r.Context())
 	var hits, misses, evictions, fleetAdmitted, fleetCompleted int64
 	for _, w := range c.order {
-		up := 0
-		if w.isAlive() {
-			up = 1
-		}
-		fmt.Fprintf(&b, "# HELP wrtcoord_worker_up 1 while the worker passes health checks\n")
-		fmt.Fprintf(&b, "wrtcoord_worker_up{id=%q} %d\n", w.id, up)
-		fmt.Fprintf(&b, "# HELP wrtcoord_worker_outstanding coordinator-side outstanding jobs on the worker\n")
-		fmt.Fprintf(&b, "wrtcoord_worker_outstanding{id=%q} %d\n", w.id, w.queueDepth())
+		label := fmt.Sprintf("id=%q", w.id)
+		m.Help("wrtcoord_worker_up", "1 while the worker passes health checks")
+		m.Labeled("wrtcoord_worker_up", label, httpx.BoolMetric(w.isAlive()))
+		m.Help("wrtcoord_worker_outstanding", "coordinator-side outstanding jobs on the worker")
+		m.Labeled("wrtcoord_worker_outstanding", label, w.queueDepth())
 		ws, ok := scrapes[w.id]
 		if !ok {
 			continue
@@ -165,21 +123,21 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		evictions += ws.Cache.Evictions
 		fleetAdmitted += ws.Queue.Admitted
 		fleetCompleted += ws.Queue.Completed
-		fmt.Fprintf(&b, "wrtcoord_worker_queue_depth{id=%q} %d\n", w.id, ws.Queue.Depth)
-		fmt.Fprintf(&b, "wrtcoord_worker_cache_entries{id=%q} %d\n", w.id, ws.Cache.Entries)
-		fmt.Fprintf(&b, "wrtcoord_worker_cache_hits_total{id=%q} %d\n", w.id, ws.Cache.Hits)
-		fmt.Fprintf(&b, "wrtcoord_worker_cache_bytes{id=%q} %d\n", w.id, ws.Cache.Bytes)
+		m.Labeled("wrtcoord_worker_queue_depth", label, ws.Queue.Depth)
+		m.Labeled("wrtcoord_worker_cache_entries", label, ws.Cache.Entries)
+		m.Labeled("wrtcoord_worker_cache_hits_total", label, ws.Cache.Hits)
+		m.Labeled("wrtcoord_worker_cache_bytes", label, ws.Cache.Bytes)
 	}
-	metric("wrtcoord_fleet_cache_hits_total", hits, "cache hits summed over answering workers")
-	metric("wrtcoord_fleet_cache_misses_total", misses, "cache misses summed over answering workers")
-	metric("wrtcoord_fleet_cache_evictions_total", evictions, "cache evictions summed over answering workers")
+	m.Metric("wrtcoord_fleet_cache_hits_total", hits, "cache hits summed over answering workers")
+	m.Metric("wrtcoord_fleet_cache_misses_total", misses, "cache misses summed over answering workers")
+	m.Metric("wrtcoord_fleet_cache_evictions_total", evictions, "cache evictions summed over answering workers")
 	ratio := 0.0
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
-	metric("wrtcoord_fleet_cache_hit_ratio", fmt.Sprintf("%.6f", ratio), "fleet-wide hits / (hits + misses)")
-	metric("wrtcoord_fleet_admitted_total", fleetAdmitted, "worker-side admissions summed over answering workers")
-	metric("wrtcoord_fleet_completed_total", fleetCompleted, "worker-side completions summed over answering workers")
+	m.Metric("wrtcoord_fleet_cache_hit_ratio", fmt.Sprintf("%.6f", ratio), "fleet-wide hits / (hits + misses)")
+	m.Metric("wrtcoord_fleet_admitted_total", fleetAdmitted, "worker-side admissions summed over answering workers")
+	m.Metric("wrtcoord_fleet_completed_total", fleetCompleted, "worker-side completions summed over answering workers")
 
 	c.mu.Lock()
 	for _, w := range c.order {
@@ -188,18 +146,16 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		label := fmt.Sprintf(`worker=%q`, w.id)
-		fmt.Fprintf(&b, "# HELP wrtcoord_job_latency_ms end-to-end dispatch+run latency per worker\n")
-		fmt.Fprintf(&b, "wrtcoord_job_latency_ms_count{%s} %d\n", label, h.N())
-		fmt.Fprintf(&b, "wrtcoord_job_latency_ms_mean{%s} %.3f\n", label, h.Mean())
-		fmt.Fprintf(&b, "wrtcoord_job_latency_ms{%s,quantile=\"0.5\"} %d\n", label, h.Quantile(0.50))
-		fmt.Fprintf(&b, "wrtcoord_job_latency_ms{%s,quantile=\"0.9\"} %d\n", label, h.Quantile(0.90))
-		fmt.Fprintf(&b, "wrtcoord_job_latency_ms{%s,quantile=\"0.99\"} %d\n", label, h.Quantile(0.99))
+		m.Help("wrtcoord_job_latency_ms", "end-to-end dispatch+run latency per worker")
+		m.Labeled("wrtcoord_job_latency_ms_count", label, h.N())
+		m.Labeled("wrtcoord_job_latency_ms_mean", label, fmt.Sprintf("%.3f", h.Mean()))
+		m.Labeled("wrtcoord_job_latency_ms", label+`,quantile="0.5"`, h.Quantile(0.50))
+		m.Labeled("wrtcoord_job_latency_ms", label+`,quantile="0.9"`, h.Quantile(0.90))
+		m.Labeled("wrtcoord_job_latency_ms", label+`,quantile="0.99"`, h.Quantile(0.99))
 	}
 	c.mu.Unlock()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(b.Bytes())
+	m.WriteTo(w)
 }
 
 // scrapeWorkers fetches /v1/stats from every live worker concurrently.
@@ -232,21 +188,4 @@ func (c *Coordinator) scrapeWorkers(ctx context.Context) map[string]*serve.Servi
 	}
 	wg.Wait()
 	return out
-}
-
-func boolMetric(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
 }

@@ -1,0 +1,225 @@
+package httpx
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// get decodes a JSON response body into out (when out != nil) and returns
+// the status code and the X-Request-Id response header.
+func get(t *testing.T, client *http.Client, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, resp.Header.Get(RequestIDHeader)
+}
+
+// TestPanicRecovery: a panicking handler yields a logged 500 in the shared
+// error shape — and the server keeps serving afterwards, because the
+// recovery middleware wraps the mux rather than relying on net/http's
+// per-connection recover (which drops the connection with no response).
+func TestPanicRecovery(t *testing.T) {
+	var logged []string
+	var mu sync.Mutex
+	s := NewSurface(Config{Logf: func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logged = append(logged, format)
+	}})
+	s.Mux().HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	s.Mux().HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body ErrorBody
+	code, reqID := get(t, ts.Client(), ts.URL+"/boom", &body)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: HTTP %d", code)
+	}
+	if body.Error == "" || body.RequestID == "" || body.RequestID != reqID {
+		t.Fatalf("500 body missing the shared shape: %+v (header ID %q)", body, reqID)
+	}
+	mu.Lock()
+	nlogged := len(logged)
+	mu.Unlock()
+	if nlogged == 0 {
+		t.Fatal("panic was not logged")
+	}
+
+	// The server survived: an unrelated request still succeeds.
+	if code, _ := get(t, ts.Client(), ts.URL+"/ok", nil); code != http.StatusOK {
+		t.Fatalf("request after panic: HTTP %d", code)
+	}
+}
+
+// TestRequestIDPropagation: one ID ties together the response header, the
+// error body and the access-log entry; a sane inbound ID is honoured.
+func TestRequestIDPropagation(t *testing.T) {
+	s := NewSurface(Config{})
+	s.Mux().HandleFunc("GET /id", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"seen": RequestIDFrom(r.Context())})
+	})
+	s.Mux().HandleFunc("GET /err", func(w http.ResponseWriter, r *http.Request) {
+		Error(w, r, http.StatusTeapot, "nope")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Generated ID: handler context, response header and log entry agree.
+	var seen map[string]string
+	code, reqID := get(t, ts.Client(), ts.URL+"/id", &seen)
+	if code != http.StatusOK || reqID == "" || seen["seen"] != reqID {
+		t.Fatalf("generated ID did not propagate: HTTP %d header %q ctx %q", code, reqID, seen["seen"])
+	}
+	entries := s.Log().Snapshot()
+	if len(entries) != 1 || entries[0].RequestID != reqID || entries[0].Status != http.StatusOK {
+		t.Fatalf("access log disagrees: %+v (want ID %q)", entries, reqID)
+	}
+
+	// Inbound ID is honoured and lands in the error body.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/err", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "client-chosen-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTeapot || body.RequestID != "client-chosen-42" {
+		t.Fatalf("inbound ID not honoured: HTTP %d body %+v", resp.StatusCode, body)
+	}
+}
+
+// TestTimeout: a handler outrunning the request deadline yields 503 in the
+// shared error shape, and the handler's late writes are discarded rather
+// than interleaved into the 503.
+func TestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	lateWrite := make(chan error, 1)
+	s := NewSurface(Config{RequestTimeout: 30 * time.Millisecond})
+	s.Mux().HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		_, err := w.Write([]byte("too late"))
+		lateWrite <- err
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body ErrorBody
+	code, reqID := get(t, ts.Client(), ts.URL+"/slow", &body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request: HTTP %d", code)
+	}
+	if !strings.Contains(body.Error, "timed out") || body.RequestID != reqID {
+		t.Fatalf("timeout body not in the shared shape: %+v", body)
+	}
+	close(release)
+	if err := <-lateWrite; err != http.ErrHandlerTimeout {
+		t.Fatalf("late handler write: err %v, want ErrHandlerTimeout", err)
+	}
+}
+
+// TestBodyLimit: the stack caps bodies; decode errors past the cap satisfy
+// BodyLimitExceeded so handlers answer 413 in the shared shape.
+func TestBodyLimit(t *testing.T) {
+	s := NewSurface(Config{MaxBodyBytes: 64})
+	s.Mux().HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.ReadAll(r.Body); err != nil {
+			status := http.StatusBadRequest
+			if BodyLimitExceeded(err) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			Error(w, r, status, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json",
+		strings.NewReader(strings.Repeat("x", 1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || body.Error == "" || body.RequestID == "" {
+		t.Fatalf("oversized body: HTTP %d %+v", resp.StatusCode, body)
+	}
+}
+
+// TestDebugSurface: /debug/log serves the ring; pprof is present only when
+// enabled; and the debug surface bypasses the API timeout (a profile runs
+// longer than the request deadline).
+func TestDebugSurface(t *testing.T) {
+	s := NewSurface(Config{RequestTimeout: 50 * time.Millisecond, Pprof: true})
+	s.Mux().HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.Client(), ts.URL+"/ping", nil); code != http.StatusOK {
+		t.Fatalf("ping: HTTP %d", code)
+	}
+	var lr struct {
+		Total   uint64  `json:"total"`
+		Entries []Entry `json:"entries"`
+	}
+	if code, _ := get(t, ts.Client(), ts.URL+"/debug/log", &lr); code != http.StatusOK {
+		t.Fatalf("/debug/log: HTTP %d", code)
+	}
+	if lr.Total == 0 || len(lr.Entries) == 0 || lr.Entries[0].Path != "/ping" {
+		t.Fatalf("/debug/log missing the ping: %+v", lr)
+	}
+	if code, _ := get(t, ts.Client(), ts.URL+"/debug/pprof/cmdline", nil); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: HTTP %d", code)
+	}
+	// A CPU profile longer than the API timeout still completes: the debug
+	// surface is exempt from the request deadline.
+	start := time.Now()
+	code, _ := get(t, ts.Client(), ts.URL+"/debug/pprof/profile?seconds=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/profile: HTTP %d", code)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("profile returned in %s; deadline truncated it", elapsed)
+	}
+
+	off := NewSurface(Config{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	if code, _ := get(t, tsOff.Client(), tsOff.URL+"/debug/pprof/cmdline", nil); code != http.StatusNotFound {
+		t.Fatalf("pprof should be gated off by default: HTTP %d", code)
+	}
+}

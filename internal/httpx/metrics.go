@@ -1,0 +1,46 @@
+package httpx
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+)
+
+// Metrics builds a Prometheus text exposition. Hand-rolled on purpose: the
+// module has no client library dependency and the format is a stable line
+// protocol; this type just keeps the fmt plumbing (and the Content-Type
+// string) in one place instead of one copy per daemon.
+type Metrics struct {
+	b bytes.Buffer
+}
+
+// Help writes a # HELP line; use before Labeled samples that share a name.
+func (m *Metrics) Help(name, help string) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n", name, help)
+}
+
+// Metric writes a HELP line plus one unlabelled sample.
+func (m *Metrics) Metric(name string, v any, help string) {
+	m.Help(name, help)
+	fmt.Fprintf(&m.b, "%s %v\n", name, v)
+}
+
+// Labeled writes one labelled sample, e.g. Labeled("up", `id="w1"`, 1).
+func (m *Metrics) Labeled(name, labels string, v any) {
+	fmt.Fprintf(&m.b, "%s{%s} %v\n", name, labels, v)
+}
+
+// WriteTo flushes the exposition with the standard text Content-Type.
+func (m *Metrics) WriteTo(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(m.b.Bytes())
+}
+
+// BoolMetric renders a gauge-style boolean as 0/1.
+func BoolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package httpx
+
+import (
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Entry is one access-log record.
+type Entry struct {
+	// Seq is the entry's position in the append order (0-based, monotonic);
+	// Total - Seq > capacity means the entry has been overwritten.
+	Seq        uint64    `json:"seq"`
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"requestId,omitempty"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Status     int       `json:"status"`
+	Bytes      int64     `json:"bytes"`
+	DurationMs float64   `json:"durationMs"`
+	Remote     string    `json:"remote,omitempty"`
+}
+
+// Ring is a fixed-size lock-free log buffer: appends are one atomic
+// fetch-add to claim a sequence number plus one atomic pointer store into
+// slot seq % capacity, so the hot path never takes a lock and never
+// allocates beyond the entry itself. Readers are wait-free and never block
+// writers: a snapshot reads the sequence counter, loads each slot's
+// pointer, and sorts by Seq. Invariants:
+//
+//   - A slot always holds a fully-formed entry or nil (pointer stores are
+//     atomic; entries are immutable once stored).
+//   - Sequence numbers are unique and dense; capacity is a power of two so
+//     seq % capacity is a mask.
+//   - Under concurrent appends a snapshot is a consistent *sample*, not a
+//     serialized cut: an in-flight writer that claimed seq but has not
+//     stored yet leaves its predecessor visible in that slot, so a snapshot
+//     can contain entries newer than the counter it read and may briefly
+//     miss the claimed-but-unstored one. Seq ordering within the snapshot
+//     is still strict, which is all /debug/log needs.
+type Ring struct {
+	slots []atomic.Pointer[Entry]
+	seq   atomic.Uint64
+	mask  uint64
+}
+
+// NewRing builds a ring retaining at least n entries (n <= 0:
+// DefaultLogEntries), rounded up to a power of two.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultLogEntries
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Entry], size), mask: uint64(size - 1)}
+}
+
+// Cap is the retained-entry capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total is the number of entries ever appended.
+func (r *Ring) Total() uint64 { return r.seq.Load() }
+
+// Append records one entry, overwriting the (total - capacity)'th.
+func (r *Ring) Append(e Entry) {
+	seq := r.seq.Add(1) - 1
+	e.Seq = seq
+	r.slots[seq&r.mask].Store(&e)
+}
+
+// Snapshot returns the retained entries in append order (oldest first).
+func (r *Ring) Snapshot() []Entry {
+	head := r.seq.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]Entry, 0, head-start)
+	for i := start; i < head; i++ {
+		if p := r.slots[i&r.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	// Concurrent appends can lap a slot between the counter read and the
+	// load, so the raw walk is not sorted by construction.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// logResponse is the GET /debug/log body.
+type logResponse struct {
+	// Total counts every request served; entries retain the most recent
+	// Capacity of them.
+	Total    uint64  `json:"total"`
+	Capacity int     `json:"capacity"`
+	Entries  []Entry `json:"entries"`
+}
+
+// ServeHTTP makes the ring its own /debug/log endpoint.
+func (r *Ring) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, http.StatusOK, logResponse{
+		Total:    r.Total(),
+		Capacity: r.Cap(),
+		Entries:  r.Snapshot(),
+	})
+}

@@ -1,0 +1,100 @@
+package httpx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingRoundsCapacityUp(t *testing.T) {
+	if c := NewRing(0).Cap(); c != DefaultLogEntries {
+		t.Fatalf("default capacity %d, want %d", c, DefaultLogEntries)
+	}
+	if c := NewRing(5).Cap(); c != 8 {
+		t.Fatalf("capacity for n=5 is %d, want 8", c)
+	}
+}
+
+// TestRingWraparound: appending past capacity retains exactly the newest
+// Cap entries, in order, with dense sequence numbers.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	const total = 21
+	for i := 0; i < total; i++ {
+		r.Append(Entry{Path: fmt.Sprintf("/req/%d", i)})
+	}
+	if got := r.Total(); got != total {
+		t.Fatalf("total %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	if len(snap) != r.Cap() {
+		t.Fatalf("snapshot holds %d entries, want %d", len(snap), r.Cap())
+	}
+	for i, e := range snap {
+		wantSeq := uint64(total - r.Cap() + i)
+		if e.Seq != wantSeq || e.Path != fmt.Sprintf("/req/%d", wantSeq) {
+			t.Fatalf("entry %d: seq %d path %s, want seq %d", i, e.Seq, e.Path, wantSeq)
+		}
+	}
+}
+
+// TestRingConcurrent exercises the lock-free paths under the race detector:
+// parallel writers wrapping the buffer many times over while readers
+// snapshot continuously. Snapshots must always be Seq-ordered and
+// duplicate-free, whatever the interleaving.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	const writers = 8
+	const perWriter = 2000
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				for j := 1; j < len(snap); j++ {
+					if snap[j].Seq <= snap[j-1].Seq {
+						t.Errorf("snapshot out of order: seq %d then %d", snap[j-1].Seq, snap[j].Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Entry{Path: fmt.Sprintf("/w%d/%d", w, i), Status: 200})
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("total %d, want %d", got, writers*perWriter)
+	}
+	snap := r.Snapshot()
+	if len(snap) != r.Cap() {
+		t.Fatalf("final snapshot holds %d entries, want %d", len(snap), r.Cap())
+	}
+	// All retained entries come from the final capacity-sized window.
+	for _, e := range snap {
+		if e.Seq < uint64(writers*perWriter-r.Cap()) {
+			t.Fatalf("stale entry survived: seq %d", e.Seq)
+		}
+	}
+}

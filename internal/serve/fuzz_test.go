@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// FuzzSubmitRequest fuzzes the POST /v1/runs request decoder: the strict
+// SubmitRequest envelope plus per-item ParseScenario, exactly as
+// HandleBatchSubmit validates a batch (decode-only — nothing is executed).
+// Arbitrary bytes must never panic, and every scenario the validator admits
+// must produce a stable content-addressed Key (the ID handed to clients and
+// used for caching and cluster routing).
+func FuzzSubmitRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"scenarios": [{"N": 10, "Seed": 1}]}`),
+		[]byte(`{"scenarios": [{"N": 6, "Seed": 2, "Duration": 2000, "Sources": [{"Station": -1, "Kind": "cbr", "Class": "premium", "Period": 50, "Dest": {"kind": "opposite"}}]}]}`),
+		[]byte(`{"scenarios": []}`),
+		[]byte(`{"scenarios": [{"Bogus": 1}, {"N": 4}]}`),
+		[]byte(`{"extra": true, "scenarios": [{"N": 4}]}`),
+		[]byte(`{"scenarios": [null]}`),
+		[]byte(`[]`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req SubmitRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		for _, raw := range req.Scenarios {
+			s, err := wrtring.ParseScenario(raw)
+			if err != nil {
+				continue
+			}
+			key, err := Key(s)
+			if err != nil {
+				t.Fatalf("valid scenario has no key: %v\nscenario: %s", err, raw)
+			}
+			key2, err := Key(s)
+			if err != nil || key2 != key {
+				t.Fatalf("key is not deterministic: %q vs %q (err %v)", key, key2, err)
+			}
+		}
+	})
+}

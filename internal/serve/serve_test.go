@@ -374,3 +374,184 @@ func TestServiceRequestValidation(t *testing.T) {
 		t.Fatalf("healthz: HTTP %d", resp2.StatusCode)
 	}
 }
+
+// TestServicePartialBatchKeepsAdmittedIDs is the acceptance regression over
+// real HTTP: a batch where admission starts succeeding and then hits
+// saturation returns every admitted job's ID, an explicit rejection for the
+// rest, 429, and the Retry-After hint — never a response that forgets
+// admitted work.
+func TestServicePartialBatchKeepsAdmittedIDs(t *testing.T) {
+	// One worker and a one-deep queue: the first slow scenario is admitted
+	// (and promptly occupies the worker), at most one more fits the queue,
+	// and everything after is deterministically rejected.
+	srv := New(Config{Workers: 1, QueueCapacity: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(50 * time.Millisecond)
+
+	var batch []wrtring.Scenario
+	for seed := uint64(1); seed <= 8; seed++ {
+		batch = append(batch, slowScenario(seed))
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		bytes.NewReader(mustBatchBody(t, batch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: HTTP %d, want 429", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 with rejected items carries no Retry-After")
+	}
+	var resp SubmitResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("429 body is not a SubmitResponse: %v", err)
+	}
+
+	var admitted, rejected int
+	for i, run := range resp.Runs {
+		switch run.Status {
+		case SubmitQueued, SubmitCoalesced, SubmitCached:
+			admitted++
+			if run.ID == "" {
+				t.Fatalf("admitted run %d has no ID: %+v", i, run)
+			}
+			// The contract under test: every admitted ID is pollable.
+			if code, st := getStatus(t, ts.URL, run.ID); code != http.StatusOK || st.ID != run.ID {
+				t.Fatalf("admitted run %d (%s) not pollable: HTTP %d %+v", i, run.ID, code, st)
+			}
+		case "rejected":
+			rejected++
+			if run.Error == "" {
+				t.Fatalf("rejected run %d carries no reason", i)
+			}
+		default:
+			t.Fatalf("run %d: unexpected status %q", i, run.Status)
+		}
+	}
+	if admitted == 0 || rejected == 0 {
+		t.Fatalf("batch did not split (admitted=%d rejected=%d); the regression is unexercised", admitted, rejected)
+	}
+}
+
+// TestServiceDrainingBatchBody: once draining, a batch submission gets 503
+// — but still as a full per-item SubmitResponse with Retry-After, not the
+// old bare error object.
+func TestServiceDrainingBatchBody(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Drain(time.Second)
+
+	httpResp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		bytes.NewReader(mustBatchBody(t, []wrtring.Scenario{fastScenario(1), fastScenario(2)})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: HTTP %d", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 carries no Retry-After")
+	}
+	var resp SubmitResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("503 body is not a SubmitResponse: %v", err)
+	}
+	if len(resp.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(resp.Runs))
+	}
+	for i, run := range resp.Runs {
+		if run.Status != "rejected" || !strings.Contains(run.Error, ErrDraining.Error()) {
+			t.Fatalf("run %d: %+v, want rejected with drain error", i, run)
+		}
+	}
+}
+
+func mustBatchBody(t *testing.T, scenarios []wrtring.Scenario) []byte {
+	t.Helper()
+	var req SubmitRequest
+	for _, s := range scenarios {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Scenarios = append(req.Scenarios, b)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServiceBodyLimit: a request past the configured body cap answers 413
+// in the shared error shape (the httpx middleware owns the cap).
+func TestServiceBodyLimit(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4, MaxBodyBytes: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	big := fmt.Sprintf(`{"scenarios": [{"N": 8, "Note": %q}]}`, strings.Repeat("x", 2048))
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" || body["requestId"] == "" {
+		t.Fatalf("413 body missing the shared error shape: %v", body)
+	}
+}
+
+// TestServiceDebugEndpoints: the wrtserved surface exposes /debug/log, and
+// pprof only when enabled.
+func TestServiceDebugEndpoints(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 4, EnablePprof: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	if code, _ := postRuns(t, ts.URL, []wrtring.Scenario{fastScenario(1)}); code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/debug/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lr struct {
+		Total   uint64 `json:"total"`
+		Entries []struct {
+			Path      string `json:"path"`
+			RequestID string `json:"requestId"`
+		} `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || lr.Total == 0 || len(lr.Entries) == 0 {
+		t.Fatalf("/debug/log: HTTP %d %+v", resp.StatusCode, lr)
+	}
+	if lr.Entries[0].Path != "/v1/runs" || lr.Entries[0].RequestID == "" {
+		t.Fatalf("access log did not record the submit: %+v", lr.Entries[0])
+	}
+	resp2, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline with EnablePprof: HTTP %d", resp2.StatusCode)
+	}
+}

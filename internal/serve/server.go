@@ -1,15 +1,12 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"time"
 
-	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/httpx"
 )
 
 // Config sizes a Server.
@@ -31,9 +28,22 @@ type Config struct {
 	// RetryAfter is the backpressure hint on 429/503 responses
 	// (<= 0: DefaultRetryAfter).
 	RetryAfter time.Duration
+	// RequestTimeout bounds each API request end to end
+	// (<= 0: httpx.DefaultRequestTimeout). Debug endpoints are exempt.
+	RequestTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/
+	// (cmd/wrtserved -pprof).
+	EnablePprof bool
+	// LogEntries sizes the /debug/log access-log ring
+	// (<= 0: httpx.DefaultLogEntries).
+	LogEntries int
+	// Logf receives recovered handler panics (nil: log.Printf).
+	Logf func(format string, args ...any)
 }
 
-// Server is the HTTP/JSON front end over the queue and cache.
+// Server is the HTTP/JSON front end over the queue and cache, built on the
+// shared internal/httpx surface (request IDs, timeouts, body limits, panic
+// recovery, /debug/log, optional pprof).
 //
 // Endpoints:
 //
@@ -41,14 +51,15 @@ type Config struct {
 //	GET  /v1/runs/{id} job status and, when done, the result
 //	GET  /healthz      liveness
 //	GET  /metrics      text counters (queue, cache, latency quantiles)
+//	GET  /debug/log    recent access-log entries (httpx ring buffer)
+//	GET  /debug/pprof/ profiling, when Config.EnablePprof
 type Server struct {
-	queue        *Queue
-	cache        *Cache
-	maxBatch     int
-	maxBodyBytes int64
-	workerID     string
-	retryAfter   time.Duration
-	mux          *http.ServeMux
+	queue      *Queue
+	cache      *Cache
+	maxBatch   int
+	workerID   string
+	retryAfter time.Duration
+	surface    *httpx.Surface
 }
 
 // New builds a Server and starts its queue workers.
@@ -56,38 +67,44 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 8 << 20
-	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
 	cache := NewCache(cfg.CacheEntries, cfg.CacheBytes)
 	s := &Server{
-		queue:        NewQueue(cache, cfg.QueueCapacity, cfg.Workers),
-		cache:        cache,
-		maxBatch:     cfg.MaxBatch,
-		maxBodyBytes: cfg.MaxBodyBytes,
-		workerID:     cfg.WorkerID,
-		retryAfter:   cfg.RetryAfter,
-		mux:          http.NewServeMux(),
+		queue:      NewQueue(cache, cfg.QueueCapacity, cfg.Workers),
+		cache:      cache,
+		maxBatch:   cfg.MaxBatch,
+		workerID:   cfg.WorkerID,
+		retryAfter: cfg.RetryAfter,
+		surface: httpx.NewSurface(httpx.Config{
+			RequestTimeout: cfg.RequestTimeout,
+			MaxBodyBytes:   cfg.MaxBodyBytes,
+			Pprof:          cfg.EnablePprof,
+			LogEntries:     cfg.LogEntries,
+			Logf:           cfg.Logf,
+		}),
 	}
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux := s.surface.Mux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the HTTP handler (also usable under httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the composed HTTP stack (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.surface.Handler() }
 
 // Queue exposes the job queue (metrics, tests, shutdown).
 func (s *Server) Queue() *Queue { return s.queue }
 
 // Cache exposes the result cache (metrics, tests).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// AccessLog exposes the surface's ring buffer (tests).
+func (s *Server) AccessLog() *httpx.Ring { return s.surface.Log() }
 
 // Drain gracefully shuts the queue down; see Queue.Drain. The HTTP listener
 // itself is the caller's to stop (http.Server.Shutdown in cmd/wrtserved).
@@ -96,64 +113,20 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	var req SubmitRequest
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
-		return
-	}
-	if len(req.Scenarios) == 0 {
-		httpError(w, http.StatusBadRequest, "no scenarios in request")
-		return
-	}
-	if len(req.Scenarios) > s.maxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds the %d-scenario limit", len(req.Scenarios), s.maxBatch))
-		return
-	}
-
-	resp := SubmitResponse{Runs: make([]SubmitRun, len(req.Scenarios))}
-	status := http.StatusOK
-	rejected := false
-	for i, raw := range req.Scenarios {
-		scenario, err := wrtring.ParseScenario(raw)
-		if err != nil {
-			resp.Runs[i] = SubmitRun{Status: "invalid", Error: err.Error()}
-			status = http.StatusBadRequest
-			continue
-		}
-		id, outcome, err := s.queue.Submit(scenario)
-		switch {
-		case errors.Is(err, ErrDraining):
-			SetRetryAfter(w.Header(), s.retryAfter)
-			httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
-			return
-		case errors.Is(err, ErrQueueFull):
-			resp.Runs[i] = SubmitRun{ID: id, Status: "rejected", Error: err.Error()}
-			rejected = true
-		case err != nil:
-			resp.Runs[i] = SubmitRun{Status: "invalid", Error: err.Error()}
-			status = http.StatusBadRequest
-		default:
-			resp.Runs[i] = SubmitRun{ID: id, Status: outcome}
-		}
-	}
-	if rejected && status == http.StatusOK {
-		// Partial admission: the client should retry the rejected items
-		// after the backpressure hint.
-		status = http.StatusTooManyRequests
-		SetRetryAfter(w.Header(), s.retryAfter)
-	}
-	writeJSON(w, status, resp)
+	HandleBatchSubmit(w, r, BatchSubmitOptions{
+		MaxBatch:   s.maxBatch,
+		RetryAfter: s.retryAfter,
+		Submit:     s.queue.Submit,
+		Fatal:      func(err error) bool { return errors.Is(err, ErrDraining) },
+		Reject:     func(err error) bool { return errors.Is(err, ErrQueueFull) },
+	})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, ok := s.queue.Status(id)
 	if !ok {
-		httpError(w, http.StatusNotFound,
+		httpx.Error(w, r, http.StatusNotFound,
 			"unknown run ID (never submitted, or its record and cached result have been evicted; resubmit the scenario)")
 		return
 	}
@@ -173,11 +146,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			resp.Error = "result evicted from cache; resubmit the scenario to recompute"
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	httpx.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, ServiceStats{
+	httpx.WriteJSON(w, http.StatusOK, ServiceStats{
 		Worker: s.workerID, Queue: s.queue.Stats(), Cache: s.cache.Stats(),
 	})
 }
@@ -190,66 +163,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleMetrics writes a Prometheus-style text exposition of the queue,
-// cache and latency counters. Hand-rolled on purpose: no client library in
-// the module, and the format is a stable line protocol.
+// handleMetrics writes the Prometheus-style text exposition of the queue,
+// cache and latency counters through the shared httpx.Metrics writer.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	qs := s.queue.Stats()
 	cs := s.cache.Stats()
-	var b bytes.Buffer
-	writeMetric := func(name string, v any, help string) {
-		fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
-		fmt.Fprintf(&b, "%s %v\n", name, v)
-	}
+	var m httpx.Metrics
 	if s.workerID != "" {
-		fmt.Fprintf(&b, "# HELP wrtserved_worker_info worker identity within a wrtcoord cluster\n")
-		fmt.Fprintf(&b, "wrtserved_worker_info{id=%q} 1\n", s.workerID)
+		m.Help("wrtserved_worker_info", "worker identity within a wrtcoord cluster")
+		m.Labeled("wrtserved_worker_info", fmt.Sprintf("id=%q", s.workerID), 1)
 	}
-	writeMetric("wrtserved_queue_depth", qs.Depth, "jobs admitted but not yet running")
-	writeMetric("wrtserved_inflight", qs.Running, "jobs currently executing")
-	writeMetric("wrtserved_draining", boolMetric(qs.Draining), "1 while graceful shutdown is in progress")
-	writeMetric("wrtserved_admitted_total", qs.Admitted, "jobs accepted into the queue")
-	writeMetric("wrtserved_completed_total", qs.Completed, "jobs finished with a result")
-	writeMetric("wrtserved_failed_total", qs.Failed, "jobs finished with an error")
-	writeMetric("wrtserved_dropped_total", qs.Dropped, "jobs abandoned during shutdown")
-	writeMetric("wrtserved_rejected_total", qs.Rejected, "submissions refused by admission control")
-	writeMetric("wrtserved_coalesced_total", qs.Coalesced, "duplicate submissions folded onto in-flight jobs")
-	writeMetric("wrtserved_cache_hits_total", cs.Hits, "admission-path cache hits")
-	writeMetric("wrtserved_cache_misses_total", cs.Misses, "admission-path cache misses")
-	writeMetric("wrtserved_cache_evictions_total", cs.Evictions, "results evicted by LRU bounds")
-	writeMetric("wrtserved_cache_entries", cs.Entries, "results currently cached")
-	writeMetric("wrtserved_cache_bytes", cs.Bytes, "bytes of cached result payload")
-	writeMetric("wrtserved_cache_hit_ratio", fmt.Sprintf("%.6f", cs.HitRatio()), "hits / (hits + misses)")
+	m.Metric("wrtserved_queue_depth", qs.Depth, "jobs admitted but not yet running")
+	m.Metric("wrtserved_inflight", qs.Running, "jobs currently executing")
+	m.Metric("wrtserved_draining", httpx.BoolMetric(qs.Draining), "1 while graceful shutdown is in progress")
+	m.Metric("wrtserved_admitted_total", qs.Admitted, "jobs accepted into the queue")
+	m.Metric("wrtserved_completed_total", qs.Completed, "jobs finished with a result")
+	m.Metric("wrtserved_failed_total", qs.Failed, "jobs finished with an error")
+	m.Metric("wrtserved_dropped_total", qs.Dropped, "jobs abandoned during shutdown")
+	m.Metric("wrtserved_rejected_total", qs.Rejected, "submissions refused by admission control")
+	m.Metric("wrtserved_coalesced_total", qs.Coalesced, "duplicate submissions folded onto in-flight jobs")
+	m.Metric("wrtserved_cache_hits_total", cs.Hits, "admission-path cache hits")
+	m.Metric("wrtserved_cache_misses_total", cs.Misses, "admission-path cache misses")
+	m.Metric("wrtserved_cache_evictions_total", cs.Evictions, "results evicted by LRU bounds")
+	m.Metric("wrtserved_cache_entries", cs.Entries, "results currently cached")
+	m.Metric("wrtserved_cache_bytes", cs.Bytes, "bytes of cached result payload")
+	m.Metric("wrtserved_cache_hit_ratio", fmt.Sprintf("%.6f", cs.HitRatio()), "hits / (hits + misses)")
 	for _, ls := range s.queue.LatencySnapshot() {
 		label := fmt.Sprintf(`protocol=%q`, ls.Protocol)
-		fmt.Fprintf(&b, "# HELP wrtserved_job_latency_ms completed-job wall-clock latency (internal/stats histogram)\n")
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms_count{%s} %d\n", label, ls.N)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms_mean{%s} %.3f\n", label, ls.MeanMs)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.5\"} %d\n", label, ls.P50Ms)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.9\"} %d\n", label, ls.P90Ms)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms{%s,quantile=\"0.99\"} %d\n", label, ls.P99Ms)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms_max{%s} %d\n", label, ls.MaxMs)
-		fmt.Fprintf(&b, "wrtserved_job_latency_ms_overflowed{%s} %d\n", label, ls.Overflowed)
+		m.Help("wrtserved_job_latency_ms", "completed-job wall-clock latency (internal/stats histogram)")
+		m.Labeled("wrtserved_job_latency_ms_count", label, ls.N)
+		m.Labeled("wrtserved_job_latency_ms_mean", label, fmt.Sprintf("%.3f", ls.MeanMs))
+		m.Labeled("wrtserved_job_latency_ms", label+`,quantile="0.5"`, ls.P50Ms)
+		m.Labeled("wrtserved_job_latency_ms", label+`,quantile="0.9"`, ls.P90Ms)
+		m.Labeled("wrtserved_job_latency_ms", label+`,quantile="0.99"`, ls.P99Ms)
+		m.Labeled("wrtserved_job_latency_ms_max", label, ls.MaxMs)
+		m.Labeled("wrtserved_job_latency_ms_overflowed", label, ls.Overflowed)
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(b.Bytes())
-}
-
-func boolMetric(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+	m.WriteTo(w)
 }
