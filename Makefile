@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-trajectory cover examples experiments serve cluster-smoke clean
+.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-grid bench-trajectory cover examples experiments serve cluster-smoke clean
 
 all: build vet test
 
@@ -46,6 +46,13 @@ bench-baseline:
 bench-check:
 	scripts/bench.sh benchmarks/latest.txt
 	scripts/bench-compare.sh benchmarks/baseline.txt benchmarks/latest.txt
+
+# bench-grid measures whole-grid scenario throughput through the runner
+# (BenchmarkGridThroughput): runs/sec and allocs/run for the fresh build
+# path vs a pooled arena carried across batches. This is the sweep-scale
+# companion to the per-slot benchmarks; see benchmarks/README.md.
+bench-grid:
+	$(GO) test -run='^$$' -bench=BenchmarkGridThroughput -benchmem -count=3 ./internal/runner
 
 # bench-trajectory appends the tracked hot-path benchmarks (RunForN64,
 # KernelScheduleAndFire) as the next point in the committed perf trajectory

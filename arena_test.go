@@ -1,0 +1,164 @@
+package wrtring
+
+// Fresh-vs-reused metamorphic pin for the arena reuse path: building the
+// same scenario into a worker's long-lived Arena must produce byte-identical
+// results — trace bytes and final stats alike — to a from-scratch Build.
+// The matrix is the full golden hot-path set (saturated, churn+loss+RAP,
+// mobility × seeds × sizes), run through ONE arena sequentially so every
+// build after the first exercises the recycled kernel/radio/station state.
+// Runs under -race via `make race`.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// digestNet runs an already-built network for the scenario's duration (in
+// nChunks RunFor calls) and hashes every observable byte, in exactly the
+// format digestRun uses so the two are comparable.
+func digestNet(net *Network, duration int64, nChunks int) string {
+	var res *Result
+	for i := 0; i < nChunks; i++ {
+		chunk := duration / int64(nChunks)
+		if i == nChunks-1 {
+			chunk = duration - int64(i)*chunk
+		}
+		res = net.RunFor(chunk)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "result %+v\n", *res)
+	if j := net.Journal(); j != nil {
+		fmt.Fprintf(&b, "journal total=%d overwritten=%d\n", j.Total(), j.Overwritten())
+		for _, e := range j.Events() {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestArenaReuseByteIdentical(t *testing.T) {
+	scenarios := goldenScenarios()
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	arena := NewArena()
+	for _, name := range names {
+		s := scenarios[name]
+		fresh := digestRun(t, s, 1)
+		net, err := arena.Build(s)
+		if err != nil {
+			t.Fatalf("%s: arena build: %v", name, err)
+		}
+		if got := digestNet(net, s.Duration, 1); got != fresh {
+			t.Errorf("%s: arena-reused run diverged from fresh build\n got %s\nwant %s",
+				name, got, fresh)
+		}
+	}
+}
+
+// TestArenaReuseAcrossProtocols alternates WRT-Ring and TPT builds through
+// one arena: each protocol's carcass must survive the other's runs and
+// still rebuild byte-identically.
+func TestArenaReuseAcrossProtocols(t *testing.T) {
+	ring := Scenario{N: 8, L: 2, K: 2, Seed: 7, Duration: 3000, Trace: true,
+		Sources: []Source{{Station: AllStations, Kind: CBR, Class: Premium, Period: 20, Dest: Offset(2)}}}
+	tree := Scenario{Protocol: TPT, N: 8, Seed: 7, Duration: 3000,
+		Sources: []Source{{Station: AllStations, Kind: CBR, Class: Premium, Period: 20, Dest: Offset(2)}}}
+
+	arena := NewArena()
+	for round := 0; round < 2; round++ {
+		for _, s := range []Scenario{ring, tree} {
+			fresh := digestRun(t, s, 1)
+			net, err := arena.Build(s)
+			if err != nil {
+				t.Fatalf("round %d: arena build: %v", round, err)
+			}
+			if got := digestNet(net, s.Duration, 1); got != fresh {
+				t.Errorf("round %d proto %v: arena run diverged from fresh build", round, s.Protocol)
+			}
+		}
+	}
+}
+
+// TestArenaReuseAfterDirtyRuns is the faulted/cancelled-job leak check: a
+// worker whose previous job was abandoned mid-run, ended with a dead ring,
+// or went through heavy crash/churn/loss must still produce byte-identical
+// output for the next clean job on the same arena.
+func TestArenaReuseAfterDirtyRuns(t *testing.T) {
+	clean := Scenario{N: 8, L: 2, K: 2, Seed: 3, Duration: 4000, Trace: true,
+		Sources: []Source{{Station: AllStations, Class: Premium, Dest: Opposite(), Preload: 200}}}
+	churny := Scenario{N: 16, L: 2, K: 2, Seed: 5, Duration: 6000, Trace: true,
+		EnableRAP: true, AutoRejoin: true, LossProb: 0.002,
+		Sources: []Source{{Station: AllStations, Kind: Poisson, Class: Premium, Mean: 60, Dest: Uniform()}},
+		Churn: []ChurnOp{
+			{At: 1000, Kind: Kill, Station: 2},
+			{At: 2000, Kind: Kill, Station: 9},
+			{At: 3000, Kind: Leave, Station: 5},
+			{At: 4200, Kind: LoseSignal},
+		}}
+	// Killing all but two stations drives the ring below quorum: the run
+	// ends with a dead ring — the messiest terminal state a job can leave.
+	lethal := Scenario{N: 4, L: 1, K: 1, Seed: 9, Duration: 3000, Trace: true,
+		Churn: []ChurnOp{
+			{At: 500, Kind: Kill, Station: 0},
+			{At: 700, Kind: Kill, Station: 1},
+			{At: 900, Kind: Kill, Station: 2},
+		}}
+
+	cleanFresh := digestRun(t, clean, 1)
+	arena := NewArena()
+
+	dirty := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"completed churn/loss run", func(t *testing.T) {
+			if _, err := arena.Build(churny); err != nil {
+				t.Fatal(err)
+			}
+			// Run to completion via digestNet (also checks the run itself).
+			if net, err := arena.Build(churny); err != nil {
+				t.Fatal(err)
+			} else if got, want := digestNet(net, churny.Duration, 1), digestRun(t, churny, 1); got != want {
+				t.Fatalf("churn scenario itself diverged under reuse")
+			}
+		}},
+		{"abandoned mid-run (cancellation)", func(t *testing.T) {
+			net, err := arena.Build(churny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.RunFor(churny.Duration / 3) // walk away mid-simulation
+		}},
+		{"dead ring", func(t *testing.T) {
+			net, err := arena.Build(lethal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := net.RunFor(lethal.Duration)
+			if !res.Dead {
+				t.Fatalf("lethal scenario expected to kill the ring")
+			}
+		}},
+	}
+	for _, d := range dirty {
+		d.run(t)
+		net, err := arena.Build(clean)
+		if err != nil {
+			t.Fatalf("after %s: build clean: %v", d.name, err)
+		}
+		if got := digestNet(net, clean.Duration, 1); got != cleanFresh {
+			t.Errorf("after %s: clean run diverged from fresh build\n got %s\nwant %s",
+				d.name, got, cleanFresh)
+		}
+	}
+}

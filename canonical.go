@@ -5,6 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"io"
+	"sync"
+	"sync/atomic"
 )
 
 // This file defines the canonical scenario encoding and its content hash —
@@ -15,16 +19,23 @@ import (
 // kernel and RNGs split deterministically from Scenario.Seed, so equal
 // canonical encodings imply byte-identical Results at any worker count.
 
-// Canonical returns the canonical JSON encoding of the scenario: defaults
-// normalised (so Scenario{} and Scenario{N: 8, L: 2, K: 2, ...} encode
-// identically), empty slices folded to null, and fields emitted in fixed
-// declaration order. The encoding is map-free end to end — Scenario and
-// every nested spec are plain structs and slices, and encoding/json emits
-// struct fields in declaration order — so the bytes are deterministic.
-func (s Scenario) Canonical() ([]byte, error) {
+// canonicalEncodes counts every canonical encoding pass performed by this
+// process (Canonical calls and streaming Hash calls alike). The serve tests
+// use it to prove a /v1/runs submit canonicalises its scenario exactly once.
+var canonicalEncodes atomic.Uint64
+
+// CanonicalEncodes returns the process-wide count of canonical encoding
+// passes (see Canonical and Hash). Intended for tests and benchmark guards
+// asserting single-encode behaviour on hot request paths.
+func CanonicalEncodes() uint64 { return canonicalEncodes.Load() }
+
+// canonicalized returns the scenario in canonical form: defaults
+// normalised, empty-but-non-nil containers folded onto their nil form so
+// that callers who write Sources: []Source{} hash identically to those who
+// omit it, and nested specs deep-copied so the fold never mutates the
+// caller's scenario.
+func (s Scenario) canonicalized() Scenario {
 	c := s.withDefaults()
-	// Fold empty-but-non-nil containers onto their nil form so that callers
-	// who write Sources: []Source{} hash identically to those who omit it.
 	if len(c.Quotas) == 0 {
 		c.Quotas = nil
 	}
@@ -49,22 +60,112 @@ func (s Scenario) Canonical() ([]byte, error) {
 		m := *c.Mobility
 		c.Mobility = &m
 	}
-	b, err := json.Marshal(c)
+	return c
+}
+
+// Canonical returns the canonical JSON encoding of the scenario: defaults
+// normalised (so Scenario{} and Scenario{N: 8, L: 2, K: 2, ...} encode
+// identically), empty slices folded to null, and fields emitted in fixed
+// declaration order. The encoding is map-free end to end — Scenario and
+// every nested spec are plain structs and slices, and encoding/json emits
+// struct fields in declaration order — so the bytes are deterministic.
+//
+// Callers that only need the content hash should call Hash, which streams
+// this encoding through SHA-256 without materialising the bytes.
+func (s Scenario) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s.canonicalized())
 	if err != nil {
 		return nil, fmt.Errorf("wrtring: canonical encoding: %w", err)
 	}
+	canonicalEncodes.Add(1)
 	return b, nil
+}
+
+// trailingTrim forwards writes to w with a one-byte lag, holding back the
+// last byte seen so far. json.Encoder emits exactly json.Marshal's bytes
+// plus one trailing '\n'; lagging by one byte lets finish drop that newline
+// without ever buffering the stream, regardless of how the encoder chunks
+// its writes.
+type trailingTrim struct {
+	w   io.Writer
+	one [1]byte
+	has bool
+}
+
+func (t *trailingTrim) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if t.has {
+		if _, err := t.w.Write(t.one[:]); err != nil {
+			return 0, err
+		}
+	}
+	t.one[0] = p[len(p)-1]
+	t.has = true
+	if len(p) > 1 {
+		if _, err := t.w.Write(p[:len(p)-1]); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// finish flushes the held byte unless it is the encoder's trailing newline.
+func (t *trailingTrim) finish() error {
+	defer func() { t.has = false }()
+	if t.has && t.one[0] != '\n' {
+		_, err := t.w.Write(t.one[:])
+		return err
+	}
+	return nil
+}
+
+// hashEncoder is the pooled single-pass hashing pipeline:
+// json.Encoder → trailingTrim → sha256. The encoder is bound to the trim
+// writer once; the pool keeps encoding-state and hash allocations off the
+// per-request path.
+type hashEncoder struct {
+	h    hash.Hash
+	trim trailingTrim
+	enc  *json.Encoder
+}
+
+var hashEncoderPool = sync.Pool{
+	New: func() any {
+		e := &hashEncoder{h: sha256.New()}
+		e.trim.w = e.h
+		e.enc = json.NewEncoder(&e.trim)
+		return e
+	},
 }
 
 // Hash returns the hex SHA-256 of the canonical encoding — the scenario's
 // content address. Equal hashes mean equal experiments (spec + seed +
 // protocol parameters), which in turn mean byte-identical results, so the
 // hash is sound as an exact cache key, not an approximate one.
+//
+// The canonical bytes are streamed through the SHA-256 state in a single
+// encoding pass: callers needing only the hash (the serve cache key path)
+// never materialise the canonical byte slice. json.Encoder with default
+// options produces exactly json.Marshal's bytes plus a trailing newline,
+// which the pipeline strips, so the digest equals
+// sha256(Canonical()) byte for byte — pinned by TestHashGolden.
 func (s Scenario) Hash() (string, error) {
-	b, err := s.Canonical()
-	if err != nil {
-		return "", err
+	e := hashEncoderPool.Get().(*hashEncoder)
+	e.h.Reset()
+	e.trim.has = false
+	err := e.enc.Encode(s.canonicalized())
+	if err == nil {
+		err = e.trim.finish()
 	}
-	sum := sha256.Sum256(b)
+	if err != nil {
+		hashEncoderPool.Put(e)
+		return "", fmt.Errorf("wrtring: canonical encoding: %w", err)
+	}
+	var sum [sha256.Size]byte
+	e.h.Sum(sum[:0])
+	hashEncoderPool.Put(e)
+	canonicalEncodes.Add(1)
 	return hex.EncodeToString(sum[:]), nil
 }

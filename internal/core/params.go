@@ -156,11 +156,17 @@ func (p *Params) Validate(n int) error {
 // UniformQuotas builds n identical quotas with the given l and k split
 // evenly favouring Assured (k1 = ceil(k/2)).
 func UniformQuotas(n, l, k int) []Quota {
-	qs := make([]Quota, n)
-	for i := range qs {
-		qs[i] = Quota{L: l, K1: (k + 1) / 2, K2: k / 2}
+	return AppendUniformQuotas(nil, n, l, k)
+}
+
+// AppendUniformQuotas appends UniformQuotas(n, l, k) onto dst, reusing its
+// capacity (the arena build path's variant).
+func AppendUniformQuotas(dst []Quota, n, l, k int) []Quota {
+	q := Quota{L: l, K1: (k + 1) / 2, K2: k / 2}
+	for i := 0; i < n; i++ {
+		dst = append(dst, q)
 	}
-	return qs
+	return dst
 }
 
 // SumLK returns Σ_j (l_j + k_j) over the given quotas.

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/rtnet/wrtring/internal/analysis"
 	"github.com/rtnet/wrtring/internal/codes"
@@ -79,12 +79,96 @@ type Ring struct {
 	Metrics RingMetrics
 	// Tagged collects Theorem-3 probe samples (see TagNextPacket).
 	Tagged []TaggedSample
+
+	// stationPool recycles Station structs (and their queue backing arrays)
+	// across Rebuild, so an arena-reused ring constructs its next membership
+	// without one allocation per station.
+	stationPool []*Station
+	// idScratch recycles rebuildTickOrder's sort buffer.
+	idScratch []StationID
 }
 
 // New builds a WRT-Ring over already-placed radio nodes. members must be
 // given in ring order (member i's successor is member i+1, cyclically); use
 // topology.RingOrder to compute such an order from geometry.
 func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Ring, error) {
+	return build(nil, k, m, rng, params, members)
+}
+
+// Rebuild is New over the carcass of a previous ring: the Ring struct, its
+// maps, slices and Station structs are recycled instead of reallocated. The
+// previous ring (in any state — mid-run, faulted, dead) is consumed and must
+// not be used afterwards; the kernel and medium must already have been Reset
+// by the caller. A rebuilt ring is observably identical to a fresh one: all
+// protocol state is re-derived from the arguments, and the invariant-audit
+// cache is keyed on orderVersion, which keeps increasing monotonically across
+// rebuilds so no stale cache can match.
+func Rebuild(prev *Ring, k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Ring, error) {
+	return build(prev, k, m, rng, params, members)
+}
+
+// recycleInto strips a consumed ring down to its reusable allocations and
+// re-points it at the new run's kernel/medium/rng.
+func (r *Ring) recycleInto(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params) {
+	// Harvest every Station ever built (tickOrder lists each exactly once)
+	// before the maps are cleared.
+	r.stationPool = append(r.stationPool, r.tickOrder...)
+	clear(r.stations)
+	clear(r.joiners)
+	clear(r.codes)
+	for i := range r.invStations {
+		r.invStations[i] = nil
+	}
+	for i := range r.tickOrder {
+		r.tickOrder[i] = nil
+	}
+	*r = Ring{
+		kernel:    k,
+		medium:    m,
+		rng:       rng,
+		params:    params,
+		stations:  r.stations,
+		joiners:   r.joiners,
+		codes:     r.codes,
+		order:     r.order[:0],
+		tickOrder: r.tickOrder[:0],
+		satLostAt: -1,
+		// The audit scratch is epoch-stamped and order-version-keyed: keeping
+		// the epoch monotonic (instead of zeroing it) means entries stamped by
+		// the previous run can never read as current.
+		invEpoch:    r.invEpoch,
+		invScratch:  r.invScratch,
+		invStations: r.invStations[:0],
+		invDup:      r.invDup[:0],
+		invSucc:     r.invSucc[:0],
+		invPred:     r.invPred[:0],
+		// orderVersion keeps counting from the previous run so invVersion (0
+		// again) never matches a stale cache; see the field comment.
+		orderVersion: r.orderVersion,
+		Metrics: RingMetrics{
+			RecoveryEvents:      r.Metrics.RecoveryEvents[:0],
+			JoinEvents:          r.Metrics.JoinEvents[:0],
+			InvariantViolations: r.Metrics.InvariantViolations[:0],
+		},
+		Tagged:      r.Tagged[:0],
+		stationPool: r.stationPool,
+		idScratch:   r.idScratch[:0],
+	}
+}
+
+// takeStation pops a pooled Station (clearing it for reuse) or allocates.
+func (r *Ring) takeStation() *Station {
+	if n := len(r.stationPool); n > 0 {
+		st := r.stationPool[n-1]
+		r.stationPool[n-1] = nil
+		r.stationPool = r.stationPool[:n-1]
+		st.reinit()
+		return st
+	}
+	return &Station{}
+}
+
+func build(prev *Ring, k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Ring, error) {
 	params.Quotas = make([]Quota, len(members))
 	for i, mb := range members {
 		params.Quotas[i] = mb.Quota
@@ -104,15 +188,20 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 		seen[mb.ID] = true
 		seenCode[mb.Code] = true
 	}
-	r := &Ring{
-		kernel:    k,
-		medium:    m,
-		rng:       rng,
-		params:    params,
-		stations:  map[StationID]*Station{},
-		joiners:   map[StationID]*Joiner{},
-		codes:     map[StationID]radio.Code{},
-		satLostAt: -1,
+	r := prev
+	if r != nil {
+		r.recycleInto(k, m, rng, params)
+	} else {
+		r = &Ring{
+			kernel:    k,
+			medium:    m,
+			rng:       rng,
+			params:    params,
+			stations:  map[StationID]*Station{},
+			joiners:   map[StationID]*Joiner{},
+			codes:     map[StationID]radio.Code{},
+			satLostAt: -1,
+		}
 	}
 	if r.params.ReformationSlotsPerStation <= 0 {
 		r.params.ReformationSlotsPerStation = 4
@@ -132,16 +221,15 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 	}
 	n := len(members)
 	for i, mb := range members {
-		st := &Station{
-			ring:   r,
-			ID:     mb.ID,
-			Node:   mb.Node,
-			Code:   mb.Code,
-			Quota:  mb.Quota,
-			succ:   members[(i+1)%n].ID,
-			pred:   members[(i+n-1)%n].ID,
-			active: true,
-		}
+		st := r.takeStation()
+		st.ring = r
+		st.ID = mb.ID
+		st.Node = mb.Node
+		st.Code = mb.Code
+		st.Quota = mb.Quota
+		st.succ = members[(i+1)%n].ID
+		st.pred = members[(i+n-1)%n].ID
+		st.active = true
 		r.stations[mb.ID] = st
 		r.codes[mb.ID] = mb.Code
 		r.order = append(r.order, mb.ID)
@@ -155,7 +243,9 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 		st := r.stations[mb.ID]
 		st.setSucc(st.succ)
 	}
-	r.orderVersion = 1
+	// Fresh rings go 0→1; rebuilt ones continue counting from the previous
+	// run, so the audit's invVersion (reset to 0) can never alias a live one.
+	r.orderVersion++
 	// Every consecutive pair must be mutually reachable or the ring cannot
 	// operate.
 	for i, mb := range members {
@@ -271,14 +361,15 @@ func (r *Ring) pauseUntil(t sim.Time) {
 
 func (r *Ring) rebuildTickOrder() {
 	r.tickOrder = r.tickOrder[:0]
-	ids := make([]StationID, 0, len(r.stations))
+	ids := r.idScratch[:0]
 	for id := range r.stations {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		r.tickOrder = append(r.tickOrder, r.stations[id])
 	}
+	r.idScratch = ids
 }
 
 func (r *Ring) updateAnchor() {

@@ -87,6 +87,21 @@ type Station struct {
 	Metrics StationMetrics
 }
 
+// reinit clears a pooled station for reuse in a rebuilt ring, keeping only
+// the allocations worth recycling: the per-class queue backing arrays
+// (Packet is pointer-free, so stale entries need no zeroing) and the
+// SAT-timer callback, which captures this struct pointer and re-reads
+// s.ring at fire time — both stay valid across any number of rebuilds.
+func (s *Station) reinit() {
+	q := s.q
+	for i := range q {
+		q[i].buf = q[i].buf[:0]
+		q[i].head = 0
+	}
+	fn := s.satTimeoutFn
+	*s = Station{q: q, satTimeoutFn: fn}
+}
+
 // setSucc rewires the station's ring successor and refreshes the cached
 // transmit code. All succ mutations after construction must go through here.
 func (s *Station) setSucc(id StationID) {

@@ -24,6 +24,7 @@
 package httpx
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -34,6 +35,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -352,11 +354,31 @@ type ErrorBody struct {
 	RequestID string `json:"requestId,omitempty"`
 }
 
-// WriteJSON writes v as a JSON response with the given status.
+// jsonBufPool holds the scratch buffers WriteJSON encodes into before the
+// single response write. Encoding to a pooled buffer instead of straight to
+// the ResponseWriter keeps the per-response encoding allocations at zero
+// (each buffer retains the capacity of the largest response it has carried)
+// and makes the body length known up front, so every response — including
+// large cached results that streaming encoding would have chunked — goes
+// out with an exact Content-Length.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// WriteJSON writes v as a JSON response with the given status. The body is
+// byte-identical to json.NewEncoder(w).Encode(v): json.Marshal's bytes plus
+// a trailing newline.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		w.WriteHeader(status)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	jsonBufPool.Put(buf)
 }
 
 // Error writes the shared error shape.

@@ -77,12 +77,15 @@ func (ix *listenerIndex) of(code Code) []NodeID {
 	return ix.byCode[code]
 }
 
-// add inserts id into code's sorted subscriber set. Like remove, it builds
+// add inserts id into code's sorted subscriber set. With cow set it builds
 // the new set in a fresh array: Listen is reachable from receiver callbacks
 // (a readmitted station re-entering the index mid-reform), and an in-place
 // insertion-sort shift would corrupt a delivery iteration over the shared
-// backing array.
-func (ix *listenerIndex) add(code Code, id NodeID) {
+// backing array. Outside delivery no iteration can be in flight (the
+// simulation is single-threaded), so the set mutates in place and reuses
+// its capacity — which is what makes rebuild-heavy arena reuse stop
+// allocating here.
+func (ix *listenerIndex) add(code Code, id NodeID, cow bool) {
 	for int(code) >= len(ix.byCode) {
 		ix.byCode = append(ix.byCode, nil)
 	}
@@ -92,33 +95,42 @@ func (ix *listenerIndex) add(code Code, id NodeID) {
 			return
 		}
 	}
-	next := make([]NodeID, 0, len(l)+1)
-	next = append(next, l...)
-	next = append(next, id)
-	// Keep sorted for deterministic delivery order.
-	for i := len(next) - 1; i > 0 && next[i] < next[i-1]; i-- {
-		next[i], next[i-1] = next[i-1], next[i]
+	if cow {
+		next := make([]NodeID, 0, len(l)+1)
+		next = append(next, l...)
+		l = next
 	}
-	ix.byCode[code] = next
+	l = append(l, id)
+	// Keep sorted for deterministic delivery order.
+	for i := len(l) - 1; i > 0 && l[i] < l[i-1]; i-- {
+		l[i], l[i-1] = l[i-1], l[i]
+	}
+	ix.byCode[code] = l
 }
 
-// remove is copy-on-remove: deliver iterates the subscriber slice it read at
-// loop entry, and a receiver callback may reentrantly Unlisten the very code
+// remove deletes id from code's subscriber set. With cow set it is
+// copy-on-remove: deliver iterates the subscriber slice it read at loop
+// entry, and a receiver callback may reentrantly Unlisten the very code
 // being delivered. An in-place append(l[:i], l[i+1:]...) would shift the
 // shared backing array under that iteration (skipping or double-delivering
 // receivers); building the shrunken set in a fresh array leaves the
-// in-flight snapshot intact.
-func (ix *listenerIndex) remove(code Code, id NodeID) {
+// in-flight snapshot intact. Outside delivery the shift is safe.
+func (ix *listenerIndex) remove(code Code, id NodeID, cow bool) {
 	if int(code) >= len(ix.byCode) {
 		return
 	}
 	l := ix.byCode[code]
 	for i, v := range l {
 		if v == id {
-			next := make([]NodeID, 0, len(l)-1)
-			next = append(next, l[:i]...)
-			next = append(next, l[i+1:]...)
-			ix.byCode[code] = next
+			if cow {
+				next := make([]NodeID, 0, len(l)-1)
+				next = append(next, l[:i]...)
+				next = append(next, l[i+1:]...)
+				ix.byCode[code] = next
+			} else {
+				copy(l[i:], l[i+1:])
+				ix.byCode[code] = l[:len(l)-1]
+			}
 			return
 		}
 	}
@@ -140,6 +152,10 @@ type Medium struct {
 	pending   []transmission
 	spare     []transmission // recycled backing array for pending
 	flush     bool
+	// delivering is true while deliver iterates listener sets; it switches
+	// the listener index into copy-on-write mode so reentrant Listen /
+	// Unlisten calls from receiver callbacks cannot corrupt the iteration.
+	delivering bool
 
 	// deliverFn is m.deliver bound once at construction; passing the method
 	// value to After directly would allocate a fresh closure every slot.
@@ -178,6 +194,12 @@ type Medium struct {
 	// Purged counts queued transmissions destroyed because their sender
 	// was powered off in the same slot (see SetAlive).
 	Purged int64
+
+	// nodePool and rowPool recycle node structs and reach-matrix rows
+	// across Reset, so an arena-reused medium registers its next topology
+	// without reallocating per station.
+	nodePool []*node
+	rowPool  [][]uint64
 }
 
 // IsControl may be implemented by frames to opt into ControlLossProb.
@@ -195,11 +217,20 @@ func NewMedium(k *sim.Kernel, rng *sim.RNG) *Medium {
 // returns its NodeID. The node starts alive and listening only to the
 // broadcast code.
 func (m *Medium) AddNode(pos Position, txRange float64, r Receiver) NodeID {
-	n := &node{pos: pos, rng: txRange, listen: map[Code]bool{Broadcast: true}, receiver: r, alive: true}
+	var n *node
+	if k := len(m.nodePool); k > 0 {
+		n = m.nodePool[k-1]
+		m.nodePool[k-1] = nil
+		m.nodePool = m.nodePool[:k-1]
+		n.pos, n.rng, n.receiver, n.alive = pos, txRange, r, true
+		n.listen[Broadcast] = true
+	} else {
+		n = &node{pos: pos, rng: txRange, listen: map[Code]bool{Broadcast: true}, receiver: r, alive: true}
+	}
 	m.nodes = append(m.nodes, n)
 	id := NodeID(len(m.nodes) - 1)
 	m.addReachNode(id)
-	m.listeners.add(Broadcast, id)
+	m.listeners.add(Broadcast, id, m.delivering)
 	return id
 }
 
@@ -214,8 +245,75 @@ func (m *Medium) addReachNode(id NodeID) {
 			m.reach[i] = append(m.reach[i], 0)
 		}
 	}
-	m.reach = append(m.reach, make([]uint64, m.reachWords))
+	m.reach = append(m.reach, m.newReachRow())
 	m.updateReach(id)
+}
+
+// newReachRow returns a zeroed row of reachWords words, recycling a pooled
+// backing array when one is wide enough.
+func (m *Medium) newReachRow() []uint64 {
+	for k := len(m.rowPool); k > 0; k-- {
+		row := m.rowPool[k-1]
+		m.rowPool[k-1] = nil
+		m.rowPool = m.rowPool[:k-1]
+		if cap(row) < m.reachWords {
+			continue // too narrow for this topology; let it go
+		}
+		row = row[:m.reachWords]
+		for i := range row {
+			row[i] = 0
+		}
+		return row
+	}
+	return make([]uint64, m.reachWords)
+}
+
+// Reset returns the medium to its NewMedium state — no nodes, no pending
+// transmissions, no loss or fault hooks — while pooling the node structs
+// and reach-matrix rows for the next topology. rng replaces the previous
+// randomness source so a reused medium draws from the new scenario's seed
+// exactly like a freshly built one. The deliverFn binding and the kernel
+// reference survive; the kernel itself must be Reset by the caller.
+func (m *Medium) Reset(rng *sim.RNG) {
+	m.rng = rng
+	for i, n := range m.nodes {
+		clear(n.listen)
+		n.receiver = nil
+		n.alive = false
+		m.nodePool = append(m.nodePool, n)
+		m.nodes[i] = nil
+	}
+	m.nodes = m.nodes[:0]
+	for i, row := range m.reach {
+		m.rowPool = append(m.rowPool, row)
+		m.reach[i] = nil
+	}
+	m.reach = m.reach[:0]
+	m.reachWords = 0
+	// Keep the per-code backing arrays (truncated): the next topology's
+	// Listen calls run outside delivery and refill them in place. Codes
+	// beyond the next scenario's range simply stay empty.
+	for i := range m.listeners.byCode {
+		m.listeners.byCode[i] = m.listeners.byCode[i][:0]
+	}
+	m.delivering = false
+	for i := range m.pending {
+		m.pending[i] = transmission{}
+	}
+	m.pending = m.pending[:0]
+	for i := range m.spare {
+		m.spare[i] = transmission{}
+	}
+	m.spare = m.spare[:0]
+	m.flush = false
+	m.LossProb = 0
+	m.ControlLossProb = -1
+	// Hooks capture the previous run's protocol state (core.New chains
+	// OnDrop through the ring's disturbance notifier); they must not
+	// survive into the next build.
+	m.FaultFn = nil
+	m.OnDrop = nil
+	m.Sent, m.Delivered, m.Collisions, m.Lost, m.Purged = 0, 0, 0, 0, 0
 }
 
 // updateReach recomputes row id (who id reaches) and column id (who reaches
@@ -288,12 +386,12 @@ func (m *Medium) SetAlive(id NodeID, alive bool) {
 		// Restore subscriptions. Map iteration order is irrelevant: the
 		// listener index keeps each code's set sorted independently.
 		for code := range n.listen {
-			m.listeners.add(code, id)
+			m.listeners.add(code, id, m.delivering)
 		}
 		return
 	}
 	for code := range n.listen {
-		m.listeners.remove(code, id)
+		m.listeners.remove(code, id, m.delivering)
 	}
 	kept := m.pending[:0]
 	for _, tx := range m.pending {
@@ -319,14 +417,14 @@ func (m *Medium) Alive(id NodeID) bool { return m.nodes[id].alive }
 func (m *Medium) Listen(id NodeID, code Code) {
 	m.nodes[id].listen[code] = true
 	if m.nodes[id].alive {
-		m.listeners.add(code, id)
+		m.listeners.add(code, id, m.delivering)
 	}
 }
 
 // Unlisten unsubscribes a node from a code.
 func (m *Medium) Unlisten(id NodeID, code Code) {
 	delete(m.nodes[id].listen, code)
-	m.listeners.remove(code, id)
+	m.listeners.remove(code, id, m.delivering)
 }
 
 // ListensTo reports whether the node is subscribed to code.
@@ -390,6 +488,8 @@ func (m *Medium) deliver() {
 	if len(batch) == 0 {
 		return
 	}
+	m.delivering = true
+	defer func() { m.delivering = false }()
 	// Group concurrent transmissions per code to detect collisions; codes
 	// are visited in sorted order so delivery is deterministic. A stable
 	// insertion sort groups the batch in place: stations transmit in ID
@@ -417,10 +517,14 @@ func (m *Medium) deliver() {
 			}
 			// Which of the concurrent same-code transmissions does this
 			// node hear? CDMA isolates different codes entirely; within a
-			// code, hearing two talkers at once corrupts both.
+			// code, hearing two talkers at once corrupts both. The loop
+			// walks by index — the transmission struct carries an interface
+			// plus two words, and copying it per candidate showed up as
+			// duffcopy time in grid profiles.
 			var heard int
-			var only transmission
-			for _, tx := range txs {
+			var only *transmission
+			for ti := range txs {
+				tx := &txs[ti]
 				if tx.from == id {
 					continue // a station does not hear itself
 				}

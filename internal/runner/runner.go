@@ -42,7 +42,8 @@ type Result struct {
 	Index int
 	// Net is the built network, kept so callers can inspect protocol state
 	// (tagged probes, per-station metrics, joiners) after the run. Nil when
-	// Err is a build error.
+	// Err is a build error, and always nil under Options.ReuseArenas (the
+	// network is recycled for the worker's next job).
 	Net     *wrtring.Network
 	Res     *wrtring.Result
 	Err     error
@@ -59,6 +60,52 @@ type Options struct {
 	// goroutine that ran it, serialised by an internal lock) with the
 	// completion count so far.
 	OnProgress func(done, total int, r Result)
+	// ReuseArenas gives each worker goroutine one long-lived
+	// wrtring.Arena reused across its job stream, eliminating the
+	// per-job network construction cost that dominates small-scenario
+	// grids. Results are byte-identical to fresh builds (the arena reuse
+	// contract); the one observable difference is that Result.Net is nil —
+	// a reused network is invalidated by the worker's next job, so it must
+	// not escape the run. Use the default (false) when post-run protocol
+	// state inspection through Result.Net is needed.
+	ReuseArenas bool
+	// Pool, when non-nil, implies ReuseArenas and additionally carries the
+	// worker arenas across batches: workers check arenas out at batch start
+	// and return them when the batch drains, so a caller issuing many
+	// consecutive Run calls (a sweep driver, a benchmark harness) reaches
+	// the same warmed steady state as the serve queue's long-lived workers
+	// instead of paying first-build growth once per batch.
+	Pool *Pool
+}
+
+// Pool recycles wrtring.Arenas across batches. The zero value is ready to
+// use; it is safe for concurrent use by the workers of one or more batches.
+type Pool struct {
+	mu     sync.Mutex
+	arenas []*wrtring.Arena
+}
+
+// Get checks an arena out of the pool, allocating a fresh one when empty.
+func (p *Pool) Get() *wrtring.Arena {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.arenas); n > 0 {
+		a := p.arenas[n-1]
+		p.arenas[n-1] = nil
+		p.arenas = p.arenas[:n-1]
+		return a
+	}
+	return wrtring.NewArena()
+}
+
+// Put returns an arena to the pool.
+func (p *Pool) Put(a *wrtring.Arena) {
+	if a == nil {
+		return
+	}
+	p.mu.Lock()
+	p.arenas = append(p.arenas, a)
+	p.mu.Unlock()
 }
 
 // Run executes all jobs and returns their results in submission order.
@@ -106,11 +153,29 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Result {
 		mu.Unlock()
 	}
 
+	reuse := opts.ReuseArenas || opts.Pool != nil
+	takeArena := func() *wrtring.Arena {
+		if !reuse {
+			return nil
+		}
+		if opts.Pool != nil {
+			return opts.Pool.Get()
+		}
+		return wrtring.NewArena()
+	}
+	releaseArena := func(a *wrtring.Arena) {
+		if opts.Pool != nil {
+			opts.Pool.Put(a)
+		}
+	}
+
 	if workers <= 1 {
+		arena := takeArena()
 		for i := range jobs {
-			out[i] = runOne(ctx, jobs[i], i)
+			out[i] = runOne(ctx, jobs[i], i, arena)
 			finish(out[i])
 		}
+		releaseArena(arena)
 		return out
 	}
 
@@ -120,10 +185,12 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := takeArena()
 			for i := range idx {
-				out[i] = runOne(ctx, jobs[i], i)
+				out[i] = runOne(ctx, jobs[i], i, arena)
 				finish(out[i])
 			}
+			releaseArena(arena)
 		}()
 	}
 	for i := range jobs {
@@ -144,11 +211,24 @@ func RunScenarios(scenarios []wrtring.Scenario, opts Options) []Result {
 	return Run(jobs, opts)
 }
 
+// RunJob executes one job against an optional long-lived arena (nil builds
+// fresh, matching Run with default options). Callers that own their worker
+// loop — the serve job queue pulls jobs one at a time off a channel — use it
+// to get per-worker arena reuse across independent invocations; see
+// Options.ReuseArenas for the contract (Result.Net is nil when an arena is
+// supplied).
+func RunJob(ctx context.Context, job Job, arena *wrtring.Arena) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runOne(ctx, job, 0, arena)
+}
+
 // runOne executes a single job, converting panics out of the protocol stack
 // into per-job errors. The simulation advances in cancelCheckSlots chunks,
 // polling ctx between chunks, so an abort lands within one chunk of virtual
 // time instead of after the whole run.
-func runOne(ctx context.Context, job Job, index int) (r Result) {
+func runOne(ctx context.Context, job Job, index int, arena *wrtring.Arena) (r Result) {
 	r = Result{Job: job, Index: index}
 	start := time.Now()
 	defer func() {
@@ -162,12 +242,20 @@ func runOne(ctx context.Context, job Job, index int) (r Result) {
 		r.Err = err
 		return r
 	}
-	net, err := wrtring.Build(job.Scenario)
+	var net *wrtring.Network
+	var err error
+	if arena != nil {
+		net, err = arena.Build(job.Scenario)
+	} else {
+		net, err = wrtring.Build(job.Scenario)
+	}
 	if err != nil {
 		r.Err = err
 		return r
 	}
-	r.Net = net
+	if arena == nil {
+		r.Net = net
+	}
 	if job.Setup != nil {
 		if err := job.Setup(net); err != nil {
 			r.Err = fmt.Errorf("runner: job %q setup: %w", job.Name, err)

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+// resultEncoder is the pooled buffer+encoder pair behind marshalResult. The
+// encoder is bound to its buffer once; pooling the pair keeps the encoding
+// scratch space (which grows to the largest result seen) and the encoder's
+// internal state off the per-completion allocation path.
+type resultEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var resultEncoderPool = sync.Pool{
+	New: func() any {
+		e := &resultEncoder{}
+		e.enc = json.NewEncoder(&e.buf)
+		return e
+	},
+}
+
+// marshalResult encodes v through a pooled buffer and returns an exact-size
+// copy of the bytes json.Marshal(v) would produce. The copy is unavoidable —
+// the bytes outlive the call inside the result cache — but it is the only
+// allocation: the encoding pass itself runs entirely in pooled scratch.
+// json.Encoder with default options emits exactly json.Marshal's bytes plus
+// a trailing newline, which is trimmed here, so cached bytes are unchanged
+// from the pre-pooling encoding (the cache byte-identity tests pin this).
+func marshalResult(v any) ([]byte, error) {
+	e := resultEncoderPool.Get().(*resultEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		resultEncoderPool.Put(e)
+		return nil, err
+	}
+	b := e.buf.Bytes()
+	b = b[:len(b)-1] // drop the Encoder's trailing newline
+	out := make([]byte, len(b))
+	copy(out, b)
+	resultEncoderPool.Put(e)
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// TestMarshalResultMatchesJSONMarshal pins the cache byte-identity contract:
+// the pooled encoding path must produce exactly json.Marshal's bytes, or
+// cached results would change encoding across this refactor.
+func TestMarshalResultMatchesJSONMarshal(t *testing.T) {
+	net, err := wrtring.Build(wrtring.Scenario{N: 8, L: 2, K: 2, Seed: 11, Duration: 2000,
+		Sources: []wrtring.Source{{Station: wrtring.AllStations, Class: wrtring.Premium,
+			Kind: wrtring.CBR, Period: 40, Dest: wrtring.Offset(1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.RunFor(2000)
+
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice through the pool so the second pass reuses a dirty buffer.
+	for i := 0; i < 2; i++ {
+		got, err := marshalResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: pooled encoding diverged from json.Marshal\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestSubmitSingleCanonicalEncode is the single-encode guard for the submit
+// path: one POST /v1/runs item must cost exactly one canonical encoding pass
+// (the streaming Key hash), through admission, execution and result caching
+// alike. A duplicate submit (cache hit) costs exactly one more — its own Key.
+func TestSubmitSingleCanonicalEncode(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCapacity: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(5 * time.Second)
+
+	scenario := wrtring.Scenario{N: 8, L: 2, K: 2, Seed: 21, Duration: 1500}
+
+	before := wrtring.CanonicalEncodes()
+	code, resp := postRuns(t, ts.URL, []wrtring.Scenario{scenario})
+	if code != 200 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if got := wrtring.CanonicalEncodes() - before; got != 1 {
+		t.Fatalf("submit performed %d canonical encodes, want exactly 1", got)
+	}
+
+	// Run to completion: executing the job and caching its result bytes must
+	// not canonicalise the scenario again.
+	waitDone(t, ts.URL, resp.Runs[0].ID)
+	if got := wrtring.CanonicalEncodes() - before; got != 1 {
+		t.Fatalf("submit+run+cache performed %d canonical encodes, want exactly 1", got)
+	}
+
+	// Cached resubmission: one more encode (the duplicate's own Key), none
+	// beyond it.
+	if code, resp := postRuns(t, ts.URL, []wrtring.Scenario{scenario}); code != 200 || resp.Runs[0].Status != SubmitCached {
+		t.Fatalf("resubmit: HTTP %d status %q, want cached hit", code, resp.Runs[0].Status)
+	}
+	if got := wrtring.CanonicalEncodes() - before; got != 2 {
+		t.Fatalf("cached resubmit brought total to %d canonical encodes, want exactly 2", got)
+	}
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -76,10 +75,14 @@ type jobRecord struct {
 	errMsg   string
 	// journal is the run's trace recorder when the scenario enables Trace;
 	// it is written by the simulation goroutine and read concurrently by
-	// the HTTP status path (trace.Recorder is internally locked).
-	journal   *trace.Recorder
-	coalesced int64
-	elapsed   time.Duration
+	// the HTTP status path (trace.Recorder is internally locked). It is a
+	// view into the worker's reusable arena, so terminal() snapshots its
+	// total into traceTotal and drops the pointer — the recorder belongs to
+	// the worker's NEXT job the moment this one retires.
+	journal    *trace.Recorder
+	traceTotal uint64
+	coalesced  int64
+	elapsed    time.Duration
 }
 
 // JobStatus is the externally visible snapshot of a job or cached result.
@@ -271,9 +274,13 @@ func (q *Queue) statusLocked(j *jobRecord) JobStatus {
 		Err: j.errMsg, Elapsed: j.elapsed,
 	}
 	// Reading the journal total while the simulation goroutine records is
-	// the concurrent path trace.Recorder's internal lock exists for.
+	// the concurrent path trace.Recorder's internal lock exists for. After
+	// the terminal transition the pointer is gone (the arena-owned recorder
+	// now serves the worker's next job) and the frozen snapshot stands in.
 	if j.journal != nil {
 		st.TraceEvents = j.journal.Total()
+	} else {
+		st.TraceEvents = j.traceTotal
 	}
 	return st
 }
@@ -373,9 +380,14 @@ func (q *Queue) Drain(timeout time.Duration) DrainReport {
 }
 
 // worker executes jobs one at a time via the runner until the queue is
-// closed (drain) or the context is cancelled (drain deadline).
+// closed (drain) or the context is cancelled (drain deadline). Each worker
+// owns one long-lived simulation arena reused across its job stream — the
+// per-job network construction cost disappears after the first build, and
+// the arena reuse contract keeps results byte-identical to fresh builds
+// however the previous job ended (done, failed, aborted at the deadline).
 func (q *Queue) worker() {
 	defer q.wg.Done()
+	arena := wrtring.NewArena()
 	for j := range q.ch {
 		if q.ctx.Err() != nil {
 			// Drain deadline passed while this job sat queued.
@@ -398,8 +410,7 @@ func (q *Queue) worker() {
 			return nil
 		}
 		start := time.Now()
-		res := runner.RunContext(q.ctx, []runner.Job{{Name: j.id, Scenario: scenario, Setup: setup}},
-			runner.Options{Jobs: 1})[0]
+		res := runner.RunJob(q.ctx, runner.Job{Name: j.id, Scenario: scenario, Setup: setup}, arena)
 		elapsed := time.Since(start)
 
 		switch {
@@ -408,7 +419,7 @@ func (q *Queue) worker() {
 		case res.Err != nil:
 			q.terminal(j, StateFailed, res.Err.Error(), elapsed, nil)
 		default:
-			data, err := json.Marshal(res.Res)
+			data, err := marshalResult(res.Res)
 			if err != nil {
 				q.terminal(j, StateFailed, fmt.Sprintf("encoding result: %v", err), elapsed, nil)
 				continue
@@ -434,6 +445,15 @@ func (q *Queue) terminal(j *jobRecord, state State, errMsg string, elapsed time.
 	j.errMsg = errMsg
 	j.elapsed = elapsed
 	j.scenario = wrtring.Scenario{}
+	// Freeze the trace count and release the recorder: it lives in the
+	// worker's arena and will be reset for the next job, so holding the
+	// pointer past this point would let Status read a different run's
+	// journal. terminal runs before the worker's next RunJob, so the
+	// snapshot is taken while the recorder still holds this job's events.
+	if j.journal != nil {
+		j.traceTotal = j.journal.Total()
+		j.journal = nil
+	}
 	switch state {
 	case StateDone:
 		q.completed++

@@ -31,58 +31,30 @@ const (
 	PrioStats   Priority = 100 // sampling and bookkeeping
 )
 
-// Event is a scheduled callback. Event structs are recycled through the
-// kernel's free list; gen disambiguates a recycled struct from the
+// event is the slab record behind a scheduled callback. The full ordering
+// key lives in the heap entry, not here: the slab only keeps what Cancel,
+// Scheduled and fire need. gen disambiguates a recycled slab entry from the
 // incarnation an old Handle still points at.
 type event struct {
+	fn     func()
+	dead   bool
+	queued bool
+	gen    uint32
+}
+
+// heapEntry is one element of the scheduling heap: the complete (at, prio,
+// seq) ordering key plus the slab slot it belongs to. Keeping the key in
+// the entry makes every heap comparison self-contained (no slab loads) and
+// every sift move a plain 24-byte pointer-free copy — no GC write barrier,
+// nothing for the mark phase to scan.
+type heapEntry struct {
 	at   Time
-	prio Priority
 	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
-	gen  uint64
+	prio int32
+	slot int32
 }
 
-// Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is valid and refers to nothing.
-type Handle struct {
-	k   *Kernel
-	ev  *event
-	gen uint64
-}
-
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op, as is cancelling after the underlying
-// struct was recycled for a newer event.
-func (h Handle) Cancel() {
-	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.dead || ev.idx < 0 {
-		return
-	}
-	ev.dead = true
-	ev.fn = nil
-	if h.k != nil {
-		h.k.dead++
-		h.k.maybeReap()
-	}
-}
-
-// Scheduled reports whether the handle refers to an event that has neither
-// fired nor been cancelled.
-func (h Handle) Scheduled() bool {
-	return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead && h.ev.idx >= 0
-}
-
-// eventQueue is a hand-rolled binary min-heap on (at, prio, seq). It used to
-// go through container/heap; the hot path fires millions of events per run,
-// and the interface indirection (Less/Swap calls, any-boxing in Push/Pop) was
-// measurable in profiles. Event order is total — seq is unique — so any
-// heap layout pops events in exactly the same order and determinism is
-// unaffected by the implementation swap.
-type eventQueue []*event
-
-func eventLess(a, b *event) bool {
+func entryLess(a, b *heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -92,76 +64,120 @@ func eventLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) push(ev *event) {
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-	q.siftUp(ev.idx)
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	k    *Kernel
+	slot int32
+	gen  uint32
 }
 
-func (q *eventQueue) pop() *event {
-	old := *q
-	n := len(old) - 1
-	ev := old[0]
-	old[0] = old[n]
-	old[0].idx = 0
-	old[n] = nil
-	*q = old[:n]
-	if n > 1 {
-		q.siftDown(0)
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op, as is cancelling after the underlying
+// slab entry was recycled for a newer event. Cancellation is lazy: the
+// heap entry stays where it is and is discarded when it surfaces (or in the
+// eager reap sweep), so Cancel never has to locate it.
+func (h Handle) Cancel() {
+	if h.k == nil {
+		return
 	}
-	ev.idx = -1
-	return ev
+	ev := &h.k.events[h.slot]
+	if ev.gen != h.gen || ev.dead || !ev.queued {
+		return
+	}
+	ev.dead = true
+	ev.fn = nil
+	h.k.dead++
+	h.k.maybeReap()
 }
 
-func (q eventQueue) siftUp(i int) {
-	ev := q[i]
+// Scheduled reports whether the handle refers to an event that has neither
+// fired nor been cancelled.
+func (h Handle) Scheduled() bool {
+	if h.k == nil {
+		return false
+	}
+	ev := &h.k.events[h.slot]
+	return ev.gen == h.gen && !ev.dead && ev.queued
+}
+
+// The queue is a hand-rolled binary min-heap on (at, prio, seq). It used to
+// go through container/heap; the hot path fires millions of events per run,
+// and the interface indirection (Less/Swap calls, any-boxing in Push/Pop)
+// was measurable in profiles. It then held *event pointers, which made
+// every sift move a write barrier and kept a pointer-dense array live for
+// the GC mark phase — hence the key-carrying value entries. Event order is
+// total — seq is unique — so any heap layout pops events in exactly the
+// same order and determinism is unaffected by the implementation swaps.
+
+func (k *Kernel) push(e heapEntry) {
+	k.queue = append(k.queue, e)
+	k.siftUp(len(k.queue) - 1)
+}
+
+func (k *Kernel) pop() heapEntry {
+	q := k.queue
+	n := len(q) - 1
+	e := q[0]
+	q[0] = q[n]
+	k.queue = q[:n]
+	if n > 1 {
+		k.siftDown(0)
+	}
+	k.events[e.slot].queued = false
+	return e
+}
+
+func (k *Kernel) siftUp(i int) {
+	q := k.queue
+	e := q[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !eventLess(ev, q[parent]) {
+		if !entryLess(&e, &q[parent]) {
 			break
 		}
 		q[i] = q[parent]
-		q[i].idx = i
 		i = parent
 	}
-	q[i] = ev
-	ev.idx = i
+	q[i] = e
 }
 
-func (q eventQueue) siftDown(i int) {
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
 	n := len(q)
-	ev := q[i]
+	e := q[i]
 	for {
 		child := 2*i + 1
 		if child >= n {
 			break
 		}
-		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+		if r := child + 1; r < n && entryLess(&q[r], &q[child]) {
 			child = r
 		}
-		if !eventLess(q[child], ev) {
+		if !entryLess(&q[child], &e) {
 			break
 		}
 		q[i] = q[child]
-		q[i].idx = i
 		i = child
 	}
-	q[i] = ev
-	ev.idx = i
+	q[i] = e
 }
 
-// init restores the heap invariant over arbitrary contents (used after the
-// eager dead-event sweep).
-func (q eventQueue) init() {
-	for i := len(q)/2 - 1; i >= 0; i-- {
-		q.siftDown(i)
+// heapify restores the heap invariant over arbitrary contents (used after
+// the eager dead-event sweep).
+func (k *Kernel) heapify() {
+	for i := len(k.queue)/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
 	}
 }
 
 // Kernel is a single-threaded discrete-event scheduler.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
+	now Time
+	// events is the slab every queued, firing, or recycled event lives in;
+	// the heap entries and the free list address into it by slot index.
+	events  []event
+	queue   []heapEntry
 	seq     uint64
 	stopped bool
 	// Trace, when non-nil, receives a line for every fired event if the
@@ -175,8 +191,8 @@ type Kernel struct {
 	// this, periodically re-armed timers (SAT_TIMER cancels and reschedules
 	// once per rotation) accumulate garbage linearly with simulated time.
 	dead int
-	// free recycles event structs so steady-state runs stop allocating.
-	free []*event
+	// free recycles slab slots so steady-state runs stop allocating.
+	free []int32
 }
 
 // NewKernel returns an empty kernel at time 0.
@@ -200,30 +216,33 @@ func (k *Kernel) At(t Time, prio Priority, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
 	}
-	var ev *event
+	var slot int32
 	if n := len(k.free); n > 0 {
-		ev = k.free[n-1]
-		k.free[n-1] = nil
+		slot = k.free[n-1]
 		k.free = k.free[:n-1]
-		ev.at, ev.prio, ev.seq, ev.fn = t, prio, k.seq, fn
 	} else {
-		ev = &event{at: t, prio: prio, seq: k.seq, fn: fn}
+		k.events = append(k.events, event{})
+		slot = int32(len(k.events) - 1)
 	}
+	ev := &k.events[slot]
+	ev.fn = fn
+	ev.queued = true
+	k.push(heapEntry{at: t, seq: k.seq, prio: int32(prio), slot: slot})
 	k.seq++
-	k.queue.push(ev)
-	return Handle{k: k, ev: ev, gen: ev.gen}
+	return Handle{k: k, slot: slot, gen: ev.gen}
 }
 
-// recycle retires an event struct that left the queue (fired or reaped) to
-// the free list. Bumping gen invalidates every outstanding Handle to the
-// old incarnation, so a stale Cancel can never kill or double-count the
-// event that later reuses the struct.
-func (k *Kernel) recycle(ev *event) {
+// recycle retires a slab slot that left the queue (fired or reaped) to the
+// free list. Bumping gen invalidates every outstanding Handle to the old
+// incarnation, so a stale Cancel can never kill or double-count the event
+// that later reuses the slot.
+func (k *Kernel) recycle(slot int32) {
+	ev := &k.events[slot]
 	ev.fn = nil
 	ev.dead = false
-	ev.idx = -1
+	ev.queued = false
 	ev.gen++
-	k.free = append(k.free, ev)
+	k.free = append(k.free, slot)
 }
 
 // maybeReap triggers the eager O(n) sweep once cancelled events outnumber
@@ -238,22 +257,37 @@ func (k *Kernel) maybeReap() {
 // restores the heap invariant.
 func (k *Kernel) reap() {
 	live := k.queue[:0]
-	for _, ev := range k.queue {
-		if ev.dead {
-			k.recycle(ev)
+	for _, e := range k.queue {
+		if k.events[e.slot].dead {
+			k.events[e.slot].queued = false
+			k.recycle(e.slot)
 		} else {
-			live = append(live, ev)
+			live = append(live, e)
 		}
 	}
-	for i := len(live); i < len(k.queue); i++ {
-		k.queue[i] = nil
-	}
 	k.queue = live
-	for i, ev := range k.queue {
-		ev.idx = i
-	}
-	k.queue.init()
+	k.heapify()
 	k.dead = 0
+}
+
+// Reset returns the kernel to the NewKernel state while keeping its
+// allocations: every queued event is recycled onto the free list (bumping
+// gen, so Handles held by stale protocol state from the previous run can
+// never cancel an event scheduled after the reset), and the slab, queue and
+// free-list backing arrays are retained for the next run. This is the
+// arena-reuse entry point — a worker running consecutive jobs resets one
+// kernel instead of building a new one per scenario.
+func (k *Kernel) Reset() {
+	for _, e := range k.queue {
+		k.recycle(e.slot)
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.fired = 0
+	k.dead = 0
+	k.stopped = false
+	k.Trace = nil
 }
 
 // After schedules fn delay slots from now.
@@ -280,28 +314,29 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
-// fire executes an already-popped live event.
-func (k *Kernel) fire(ev *event) {
-	if ev.at < k.now {
+// fire executes an already-popped live event. The callback may grow the
+// slab, so the callback is read out before it runs.
+func (k *Kernel) fire(e heapEntry) {
+	if e.at < k.now {
 		panic("sim: time went backwards")
 	}
-	k.now = ev.at
+	k.now = e.at
 	k.fired++
-	fn := ev.fn
-	k.recycle(ev)
+	fn := k.events[e.slot].fn
+	k.recycle(e.slot)
 	fn()
 }
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		ev := k.queue.pop()
-		if ev.dead {
+		e := k.pop()
+		if k.events[e.slot].dead {
 			k.dead--
-			k.recycle(ev)
+			k.recycle(e.slot)
 			continue
 		}
-		k.fire(ev)
+		k.fire(e)
 		return true
 	}
 	return false
@@ -318,15 +353,14 @@ func (k *Kernel) Step() bool {
 func (k *Kernel) Run(until Time) Time {
 	k.stopped = false
 	for !k.stopped {
-		next := k.peek()
-		if next == nil {
+		if !k.reapHead() {
 			break
 		}
-		if next.at > until {
+		if k.queue[0].at > until {
 			k.now = until
 			return k.now
 		}
-		k.fire(k.queue.pop())
+		k.fire(k.pop())
 	}
 	if k.now < until && len(k.queue) == 0 {
 		k.now = until
@@ -342,18 +376,19 @@ func (k *Kernel) RunAll() Time {
 	return k.now
 }
 
-func (k *Kernel) peek() *event {
+// reapHead discards cancelled events sitting at the head of the queue and
+// reports whether a live head remains.
+func (k *Kernel) reapHead() bool {
 	for len(k.queue) > 0 {
-		ev := k.queue[0]
-		if ev.dead {
-			k.queue.pop()
-			k.dead--
-			k.recycle(ev)
-			continue
+		slot := k.queue[0].slot
+		if !k.events[slot].dead {
+			return true
 		}
-		return ev
+		k.pop()
+		k.dead--
+		k.recycle(slot)
 	}
-	return nil
+	return false
 }
 
 // EverySlot registers fn to run once per slot at the given priority,

@@ -83,8 +83,8 @@ func TestFreeListReuse(t *testing.T) {
 	}
 	recycled := k.free[0]
 	h := k.After(1, PrioSlot, func() {})
-	if h.ev != recycled {
-		t.Fatalf("schedule did not reuse the recycled event struct")
+	if h.slot != recycled {
+		t.Fatalf("schedule did not reuse the recycled slab slot")
 	}
 	if len(k.free) != 0 {
 		t.Fatalf("free list has %d entries after reuse, want 0", len(k.free))
@@ -112,8 +112,8 @@ func TestStaleHandleCannotKillRecycledEvent(t *testing.T) {
 	}
 	fired := false
 	h2 := k.After(1, PrioSlot, func() { fired = true })
-	if h2.ev != h1.ev {
-		t.Fatalf("test premise broken: struct not recycled")
+	if h2.slot != h1.slot {
+		t.Fatalf("test premise broken: slab slot not recycled")
 	}
 	h1.Cancel() // stale: must be a no-op
 	if h1.Scheduled() {
@@ -139,8 +139,8 @@ func TestNoDoubleFireAfterRecycle(t *testing.T) {
 	h1 := k.After(1, PrioSlot, func() { count++ })
 	k.Step()
 	h2 := k.After(1, PrioSlot, func() { count++ })
-	if h2.ev != h1.ev {
-		t.Fatalf("test premise broken: struct not recycled")
+	if h2.slot != h1.slot {
+		t.Fatalf("test premise broken: slab slot not recycled")
 	}
 	h2.Cancel()
 	k.RunAll()

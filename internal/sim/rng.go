@@ -14,6 +14,14 @@ type RNG struct {
 // which guarantees a well-mixed non-zero internal state for any seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the NewRNG(seed) state. Arena-style reuse
+// paths reseed a long-lived generator instead of allocating a fresh one per
+// scenario; the resulting stream is identical either way.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -22,13 +30,18 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 // Split derives an independent child generator. The child's stream is
 // decorrelated from the parent's by re-seeding through splitmix64.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// SplitInto is Split into caller-provided storage: it advances r exactly
+// like Split and leaves dst holding the child state, without allocating.
+func (r *RNG) SplitInto(dst *RNG) {
+	dst.Reseed(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -72,6 +72,9 @@ func (w *Welford) Max() float64 {
 	return w.max
 }
 
+// Reset clears the accumulator for reuse.
+func (w *Welford) Reset() { *w = Welford{} }
+
 // String summarises the accumulator for reports.
 func (w *Welford) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.0f max=%.0f",
@@ -120,6 +123,16 @@ func (h *Histogram) Add(v int64) {
 
 // N returns the number of samples recorded.
 func (h *Histogram) N() int64 { return h.n }
+
+// Reset clears every count while keeping the bucket array, so a pooled
+// histogram can be reused without reallocating its domain.
+func (h *Histogram) Reset() {
+	b := h.buckets
+	for i := range b {
+		b[i] = 0
+	}
+	*h = Histogram{buckets: b}
+}
 
 // Clamped returns how many negative samples were clamped to zero by Add.
 func (h *Histogram) Clamped() int64 { return h.clamped }
@@ -243,6 +256,9 @@ func (tw *TimeWeighted) Average(t int64) float64 {
 // Maximum returns the largest value ever recorded.
 func (tw *TimeWeighted) Maximum() float64 { return tw.maxValue }
 
+// Reset clears the integral for reuse.
+func (tw *TimeWeighted) Reset() { *tw = TimeWeighted{} }
+
 // Deadline tracks deadline-bounded deliveries.
 type Deadline struct {
 	Met    int64
@@ -260,6 +276,9 @@ func (d *Deadline) Record(delay, deadline int64) {
 	d.Missed++
 	d.Lateness.Add(float64(delay - deadline))
 }
+
+// Reset clears the tracker for reuse.
+func (d *Deadline) Reset() { *d = Deadline{} }
 
 // MissRatio returns missed/(met+missed), or 0 when nothing was recorded.
 func (d *Deadline) MissRatio() float64 {

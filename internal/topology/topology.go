@@ -24,12 +24,17 @@ import (
 // yields a valid ring; it is the canonical "meeting room around a table"
 // layout.
 func Circle(n int, radius float64) []radio.Position {
-	out := make([]radio.Position, n)
-	for i := range out {
+	return AppendCircle(nil, n, radius)
+}
+
+// AppendCircle appends Circle(n, radius) onto dst, reusing its capacity
+// (the arena build path's variant).
+func AppendCircle(dst []radio.Position, n int, radius float64) []radio.Position {
+	for i := 0; i < n; i++ {
 		th := 2 * math.Pi * float64(i) / float64(n)
-		out[i] = radio.Position{X: radius + radius*math.Cos(th), Y: radius + radius*math.Sin(th)}
+		dst = append(dst, radio.Position{X: radius + radius*math.Cos(th), Y: radius + radius*math.Sin(th)})
 	}
-	return out
+	return dst
 }
 
 // ChordLen returns the distance between adjacent stations of Circle(n, r) —
@@ -89,13 +94,40 @@ func clamp(v, lo, hi float64) float64 {
 }
 
 // BuildGraph derives the mutual-connectivity graph of the placement under a
-// common transmission range.
+// common transmission range. Adjacency lists come out sorted ascending and
+// are carved from one flat backing array: rebuild-heavy grids call this per
+// scenario, and per-node append growth dominated its allocation profile.
 func BuildGraph(pos []radio.Position, txRange float64) codes.Graph {
-	g := codes.NewGraph(len(pos))
-	for i := range pos {
-		for j := i + 1; j < len(pos); j++ {
+	n := len(pos)
+	g := codes.NewGraph(n)
+	deg := make([]int, n)
+	adj := make([]uint64, (n*n+63)/64)
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
 			if pos[i].Dist(pos[j]) <= txRange {
-				g.AddEdge(i, j)
+				b := i*n + j
+				adj[b/64] |= 1 << (b % 64)
+				deg[i]++
+				deg[j]++
+				total += 2
+			}
+		}
+	}
+	flat := make([]int, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		g[i] = flat[off:off : off+deg[i]]
+		off += deg[i]
+	}
+	// Second pass replays the pair order of the first, so each list fills
+	// exactly to its capacity in the same ascending order AddEdge produced.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b := i*n + j
+			if adj[b/64]&(1<<(b%64)) != 0 {
+				g[i] = append(g[i], j)
+				g[j] = append(g[j], i)
 			}
 		}
 	}
@@ -222,17 +254,53 @@ type Tree struct {
 // BFSTree builds a breadth-first spanning tree of g rooted at root. It
 // returns an error if g is disconnected (TPT cannot cover such a network).
 func BFSTree(g codes.Graph, root int) (*Tree, error) {
+	var b TreeBuilder
+	return b.Build(g, root)
+}
+
+// TreeBuilder is BFSTree with recycled working storage: rebuild-heavy arena
+// grids recompute the spanning tree once per scenario, and the per-call
+// parent/queue/children allocations dominated the build profile. The zero
+// value is ready to use. The returned Tree aliases the builder's arrays and
+// stays valid only until the next Build.
+type TreeBuilder struct {
+	tree Tree
+	// queue and cdeg are BFS working storage; flat is the single backing
+	// array the child lists are carved from.
+	queue []int
+	cdeg  []int
+	flat  []int
+}
+
+// growInts returns s resized to n, reusing its backing array when wide
+// enough. Contents are unspecified; callers overwrite every element.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Build computes the BFS spanning tree of g rooted at root into the
+// builder's recycled arrays (see BFSTree for semantics).
+func (b *TreeBuilder) Build(g codes.Graph, root int) (*Tree, error) {
 	n := len(g)
-	parent := make([]int, n)
+	t := &b.tree
+	t.Root = root
+	t.Parent = growInts(t.Parent, n)
+	parent := t.Parent
 	for i := range parent {
 		parent[i] = -2 // unvisited
 	}
 	parent[root] = -1
-	queue := []int{root}
+	if cap(b.queue) < n {
+		b.queue = make([]int, 0, n)
+	}
+	queue := b.queue[:0]
+	queue = append(queue, root)
 	visited := 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		for _, v := range g[u] {
 			if parent[v] == -2 {
 				parent[v] = u
@@ -241,16 +309,38 @@ func BFSTree(g codes.Graph, root int) (*Tree, error) {
 			}
 		}
 	}
+	b.queue = queue[:0]
 	if visited != n {
 		return nil, fmt.Errorf("topology: graph disconnected, BFS reached %d of %d stations", visited, n)
 	}
-	children := make([][]int, n)
+	// Child lists are carved from one flat array (ascending order is
+	// preserved: v ascends in both passes), mirroring BuildGraph.
+	b.cdeg = growInts(b.cdeg, n)
+	cdeg := b.cdeg
+	for i := range cdeg {
+		cdeg[i] = 0
+	}
 	for v := 0; v < n; v++ {
 		if parent[v] >= 0 {
-			children[parent[v]] = append(children[parent[v]], v)
+			cdeg[parent[v]]++
 		}
 	}
-	return &Tree{Root: root, Parent: parent, Children: children}, nil
+	if cap(t.Children) < n {
+		t.Children = make([][]int, n)
+	}
+	t.Children = t.Children[:n]
+	b.flat = growInts(b.flat, n-1)
+	off := 0
+	for u := 0; u < n; u++ {
+		t.Children[u] = b.flat[off:off : off+cdeg[u]]
+		off += cdeg[u]
+	}
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			t.Children[parent[v]] = append(t.Children[parent[v]], v)
+		}
+	}
+	return t, nil
 }
 
 // EulerTour returns the depth-first token path through the tree: the
@@ -258,16 +348,21 @@ func BFSTree(g codes.Graph, root int) (*Tree, error) {
 // Every tree edge appears exactly twice, so the path has 2·(N−1) hops —
 // the quantity the paper compares against the ring's N hops (§3.2.1).
 func (t *Tree) EulerTour() []int {
-	var path []int
-	var walk func(u int)
-	walk = func(u int) {
+	return t.AppendEulerTour(make([]int, 0, 2*len(t.Parent)-1))
+}
+
+// AppendEulerTour appends the tour onto dst, reusing its capacity (the
+// arena build path's variant of EulerTour).
+func (t *Tree) AppendEulerTour(dst []int) []int {
+	return t.walkTour(t.Root, dst)
+}
+
+func (t *Tree) walkTour(u int, path []int) []int {
+	path = append(path, u)
+	for _, c := range t.Children[u] {
+		path = t.walkTour(c, path)
 		path = append(path, u)
-		for _, c := range t.Children[u] {
-			walk(c)
-			path = append(path, u)
-		}
 	}
-	walk(t.Root)
 	return path
 }
 

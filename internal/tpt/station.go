@@ -35,6 +35,21 @@ type Station struct {
 
 	lastDeparture sim.Time
 	lossTimer     sim.Handle
+	// lossTimeoutFn is the timer callback bound once per station struct
+	// (lazily, on the first arm) so re-arming the loss timer every token
+	// departure does not allocate a closure. It captures only the struct
+	// pointer, so it survives reinit and reads the current s.net when it
+	// fires.
+	lossTimeoutFn func()
+
+	// tokenBuf/dataBuf double-buffer the steady-state transmissions, the
+	// same idiom as core.Station.frameBuf: the medium delivers one slot
+	// after Transmit and a station sends at most one frame per slot, so
+	// alternating two buffers can never overwrite a frame still in flight —
+	// and the per-hop interface boxing allocation disappears.
+	tokenBuf [2]TokenFrame
+	dataBuf  [2]DataFrame
+	frameIdx uint
 
 	// Claim / recovery state.
 	claimOutstanding *ClaimFrame
@@ -79,6 +94,21 @@ func (q *fifoQ) Pop() core.Packet {
 	return p
 }
 
+// reinit clears a pooled station for reuse in a rebuilt network, keeping
+// the queue backing arrays (core.Packet is pointer-free) and the account
+// allocation; the caller re-derives the account's H and TTRT.
+func (s *Station) reinit() {
+	qs := [4]fifoQ{s.syncQ, s.asyncQ, s.fwdSync, s.fwdAsy}
+	for i := range qs {
+		qs[i].buf = qs[i].buf[:0]
+		qs[i].head = 0
+	}
+	acct := s.account
+	fn := s.lossTimeoutFn
+	*s = Station{syncQ: qs[0], asyncQ: qs[1], fwdSync: qs[2], fwdAsy: qs[3],
+		account: acct, lossTimeoutFn: fn}
+}
+
 // Active reports whether the station is up and part of the tree.
 func (s *Station) Active() bool { return s.active }
 
@@ -120,12 +150,12 @@ func (s *Station) OnReceive(code radio.Code, frame radio.Frame, from radio.NodeI
 		return
 	}
 	switch f := frame.(type) {
-	case TokenFrame:
+	case *TokenFrame:
 		if f.To != s.ID || f.Epoch != s.net.epoch {
 			return
 		}
-		s.tokenArrived(f, s.net.kernel.Now())
-	case DataFrame:
+		s.tokenArrived(*f, s.net.kernel.Now())
+	case *DataFrame:
 		if f.To != s.ID {
 			return
 		}
@@ -288,7 +318,10 @@ func (s *Station) transmit(p core.Packet, now sim.Time, idx int) {
 	}
 	s.Metrics.Sent[idx]++
 	next := s.net.nextHop(s.ID, p.Dst)
-	s.net.medium.Transmit(s.Node, sharedCode, DataFrame{To: next, Pkt: p})
+	f := &s.dataBuf[s.frameIdx&1]
+	s.frameIdx++
+	f.To, f.Pkt = next, p
+	s.net.medium.Transmit(s.Node, sharedCode, f)
 }
 
 // passToken forwards the token to the next Euler-tour position.
@@ -299,7 +332,9 @@ func (s *Station) passToken(now sim.Time) {
 	}
 	s.hasToken = false
 	s.lastDeparture = now
-	frame := TokenFrame{To: next, Pos: pos, Epoch: s.net.epoch}
+	frame := &s.tokenBuf[s.frameIdx&1]
+	s.frameIdx++
+	frame.To, frame.Pos, frame.Epoch = next, pos, s.net.epoch
 	if s.net.dropNextToken {
 		s.net.dropNextToken = false
 		s.net.tokenLostAt = now
@@ -316,9 +351,10 @@ func (s *Station) passToken(now sim.Time) {
 // (§3.1.3).
 func (s *Station) armLossTimer(now sim.Time) {
 	s.lossTimer.Cancel()
-	s.lossTimer = s.net.kernel.After(sim.Time(2*s.account.TTRT), sim.PrioTimer, func() {
-		s.onLossTimeout(s.net.kernel.Now())
-	})
+	if s.lossTimeoutFn == nil {
+		s.lossTimeoutFn = func() { s.onLossTimeout(s.net.kernel.Now()) }
+	}
+	s.lossTimer = s.net.kernel.After(sim.Time(2*s.account.TTRT), sim.PrioTimer, s.lossTimeoutFn)
 }
 
 // onLossTimeout starts the claim procedure (§3.1.3).

@@ -2,7 +2,7 @@ package tpt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/rtnet/wrtring/internal/analysis"
 	"github.com/rtnet/wrtring/internal/codes"
@@ -139,11 +139,87 @@ type Network struct {
 
 	Metrics NetworkMetrics
 	Tagged  []TaggedSample
+
+	// stationPool recycles Station structs (queue backing arrays and
+	// timed-token accounts included) across Rebuild.
+	stationPool []*Station
+	// ts recycles buildTree's and rebuildTickOrder's working storage across
+	// Rebuild (and across mid-run reforms).
+	ts treeScratch
+}
+
+// treeScratch holds the recycled working storage of buildTree: the active
+// member list, the connectivity graph carved from flat backing arrays, the
+// BFS tree builder, and the Euler walk. All of it is dead between calls, so
+// handing the same backing out again is safe.
+type treeScratch struct {
+	members []*Station
+	deg     []int
+	adj     []uint64
+	flat    []int
+	g       codes.Graph
+	builder topology.TreeBuilder
+	walk    []int
+	ids     []StationID
 }
 
 // New builds a TPT network over placed radio nodes, with a BFS spanning
 // tree rooted at members[0].
 func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Network, error) {
+	return build(nil, k, m, rng, params, members)
+}
+
+// Rebuild is New over the carcass of a previous network: maps, slices and
+// Station structs are recycled instead of reallocated. The previous network
+// is consumed; the kernel and medium must already have been Reset. All
+// protocol state is re-derived from the arguments, so a rebuilt network is
+// observably identical to a fresh one.
+func Rebuild(prev *Network, k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Network, error) {
+	return build(prev, k, m, rng, params, members)
+}
+
+// recycleInto strips a consumed network down to its reusable allocations.
+func (n *Network) recycleInto(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params) {
+	n.stationPool = append(n.stationPool, n.tickOrder...)
+	clear(n.stations)
+	clear(n.joiners)
+	for i := range n.tickOrder {
+		n.tickOrder[i] = nil
+	}
+	*n = Network{
+		kernel:      k,
+		medium:      m,
+		rng:         rng,
+		params:      params,
+		stations:    n.stations,
+		joiners:     n.joiners,
+		tickOrder:   n.tickOrder[:0],
+		parent:      n.parent,   // cleared by buildTree
+		children:    n.children, // cleared by buildTree
+		tour:        n.tour[:0],
+		tourIdx:     n.tourIdx, // cleared by buildTree
+		tokenLostAt: -1,
+		pendingBids: n.pendingBids[:0],
+		Metrics:     NetworkMetrics{RecoveryEvents: n.Metrics.RecoveryEvents[:0]},
+		Tagged:      n.Tagged[:0],
+		stationPool: n.stationPool,
+		ts:          n.ts,
+	}
+}
+
+// takeStation pops a pooled Station (cleared for reuse) or allocates.
+func (n *Network) takeStation() *Station {
+	if k := len(n.stationPool); k > 0 {
+		st := n.stationPool[k-1]
+		n.stationPool[k-1] = nil
+		n.stationPool = n.stationPool[:k-1]
+		st.reinit()
+		return st
+	}
+	return &Station{}
+}
+
+func build(prev *Network, k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []Member) (*Network, error) {
 	if len(members) < 2 {
 		return nil, fmt.Errorf("tpt: need at least 2 stations, have %d", len(members))
 	}
@@ -153,22 +229,35 @@ func New(k *sim.Kernel, m *radio.Medium, rng *sim.RNG, params Params, members []
 	if params.EnableRAP && params.TEar < 8 {
 		return nil, fmt.Errorf("tpt: TEar=%d too short for the join handshake", params.TEar)
 	}
-	n := &Network{
-		kernel:      k,
-		medium:      m,
-		rng:         rng,
-		params:      params,
-		stations:    map[StationID]*Station{},
-		joiners:     map[StationID]*Joiner{},
-		tokenLostAt: -1,
+	n := prev
+	if n != nil {
+		n.recycleInto(k, m, rng, params)
+	} else {
+		n = &Network{
+			kernel:      k,
+			medium:      m,
+			rng:         rng,
+			params:      params,
+			stations:    map[StationID]*Station{},
+			joiners:     map[StationID]*Joiner{},
+			tokenLostAt: -1,
+		}
 	}
 	var sumH int64
 	for _, mb := range members {
 		if _, dup := n.stations[mb.ID]; dup {
 			return nil, fmt.Errorf("tpt: duplicate station ID %d", mb.ID)
 		}
-		st := &Station{net: n, ID: mb.ID, Node: mb.Node, active: true}
-		st.account = timedtoken.NewAccount(0, mb.H) // TTRT set below
+		st := n.takeStation()
+		st.net = n
+		st.ID = mb.ID
+		st.Node = mb.Node
+		st.active = true
+		if st.account == nil {
+			st.account = timedtoken.NewAccount(0, mb.H) // TTRT set below
+		} else {
+			*st.account = timedtoken.Account{H: mb.H}
+		}
 		n.stations[mb.ID] = st
 		m.SetReceiver(mb.Node, st)
 		m.Listen(mb.Node, sharedCode)
@@ -277,47 +366,102 @@ func (n *Network) pauseUntil(t sim.Time) {
 
 func (n *Network) rebuildTickOrder() {
 	n.tickOrder = n.tickOrder[:0]
-	ids := make([]StationID, 0, len(n.stations))
+	ids := n.ts.ids[:0]
 	for id := range n.stations {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		n.tickOrder = append(n.tickOrder, n.stations[id])
 	}
+	n.ts.ids = ids
 }
 
 // buildTree computes the BFS spanning tree over current connectivity and
-// derives the Euler tour the token follows.
+// derives the Euler tour the token follows. All working storage — the
+// member list, the connectivity graph, the BFS tree, the Euler walk — comes
+// from the recycled treeScratch, so a rebuild allocates nothing in steady
+// state.
 func (n *Network) buildTree(root StationID) error {
-	var members []*Station
+	s := &n.ts
+	members := s.members[:0]
+	ri := -1
 	for _, st := range n.tickOrder {
 		if st.active {
+			if st.ID == root {
+				ri = len(members)
+			}
 			members = append(members, st)
 		}
 	}
-	idx := map[StationID]int{}
-	for i, st := range members {
-		idx[st.ID] = i
+	s.members = members
+	if ri < 0 {
+		return fmt.Errorf("tpt: root %d not active", root)
 	}
-	g := codes.NewGraph(len(members))
-	for i := range members {
-		for j := i + 1; j < len(members); j++ {
+	m := len(members)
+	// Connectivity graph over active members, carved from one flat backing
+	// array (mirroring topology.BuildGraph): pass one records each connected
+	// pair in a bitset plus per-member degrees, pass two fills every
+	// adjacency list to exactly its capacity in the same ascending order.
+	s.deg = growInts(s.deg, m)
+	for i := range s.deg {
+		s.deg[i] = 0
+	}
+	words := (m*m + 63) / 64
+	if cap(s.adj) < words {
+		s.adj = make([]uint64, words)
+	}
+	s.adj = s.adj[:words]
+	for i := range s.adj {
+		s.adj[i] = 0
+	}
+	total := 0
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
 			if n.medium.Connected(members[i].Node, members[j].Node) {
-				g.AddEdge(i, j)
+				b := i*m + j
+				s.adj[b/64] |= 1 << (b % 64)
+				s.deg[i]++
+				s.deg[j]++
+				total += 2
 			}
 		}
 	}
-	ri, ok := idx[root]
-	if !ok {
-		return fmt.Errorf("tpt: root %d not active", root)
+	if cap(s.g) < m {
+		s.g = make(codes.Graph, m)
 	}
-	tree, err := topology.BFSTree(g, ri)
+	s.g = s.g[:m]
+	s.flat = growInts(s.flat, total)
+	off := 0
+	for i := 0; i < m; i++ {
+		s.g[i] = s.flat[off:off : off+s.deg[i]]
+		off += s.deg[i]
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			b := i*m + j
+			if s.adj[b/64]&(1<<(b%64)) != 0 {
+				s.g[i] = append(s.g[i], j)
+				s.g[j] = append(s.g[j], i)
+			}
+		}
+	}
+	tree, err := s.builder.Build(s.g, ri)
 	if err != nil {
 		return fmt.Errorf("tpt: %w", err)
 	}
-	n.parent = map[StationID]StationID{}
-	n.children = map[StationID][]StationID{}
+	if n.parent == nil {
+		n.parent = map[StationID]StationID{}
+		n.children = map[StationID][]StationID{}
+	} else {
+		clear(n.parent)
+		// Truncate in place instead of clear: the per-parent child lists
+		// keep their backing arrays. Stale keys hold empty lists, which no
+		// reader distinguishes from absent ones.
+		for k, cs := range n.children {
+			n.children[k] = cs[:0]
+		}
+	}
 	for i, st := range members {
 		if tree.Parent[i] >= 0 {
 			p := members[tree.Parent[i]].ID
@@ -326,18 +470,22 @@ func (n *Network) buildTree(root StationID) error {
 		}
 	}
 	for _, cs := range n.children {
-		sort.Slice(cs, func(a, b int) bool { return cs[a] < cs[b] })
+		slices.Sort(cs)
 	}
 	n.root = root
-	walk := tree.EulerTour()
+	s.walk = tree.AppendEulerTour(s.walk[:0])
 	n.tour = n.tour[:0]
-	for _, w := range walk[:len(walk)-1] { // last element repeats the root
+	for _, w := range s.walk[:len(s.walk)-1] { // last element repeats the root
 		n.tour = append(n.tour, members[w].ID)
 	}
 	if len(n.tour) == 0 {
-		n.tour = []StationID{root}
+		n.tour = append(n.tour, root)
 	}
-	n.tourIdx = map[StationID]int{}
+	if n.tourIdx == nil {
+		n.tourIdx = map[StationID]int{}
+	} else {
+		clear(n.tourIdx)
+	}
 	for i, id := range n.tour {
 		if _, seen := n.tourIdx[id]; !seen {
 			n.tourIdx[id] = i
@@ -360,6 +508,15 @@ func (n *Network) tourPosOf(id StationID) int {
 }
 
 func (n *Network) roundOf(pos int) int64 { return n.currentRound }
+
+// growInts returns s resized to n, reusing its backing array when wide
+// enough. Contents are unspecified; callers overwrite every element.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
 
 // nextHop routes over the tree: descend toward dst if dst is in our
 // subtree, otherwise climb to the parent.

@@ -62,6 +62,31 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{cap: capacity, counts: map[Kind]uint64{}}
 }
 
+// Cap returns the retention capacity the recorder was created with.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// Reset empties the journal while keeping its capacity and the ring
+// buffer's backing array, so a reused simulation arena starts the next run
+// with a recorder indistinguishable from a fresh NewRecorder(cap).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.start = 0
+	r.total = 0
+	r.overwritten = 0
+	clear(r.counts)
+	r.only = nil
+}
+
 // Only restricts recording to the given kinds (counting still covers all).
 // Calling it with no arguments clears the filter.
 func (r *Recorder) Only(kinds ...Kind) {

@@ -144,11 +144,23 @@ func (s *Spec) Validate() error {
 // Attach starts a generator for the spec against the target. It panics on
 // an invalid spec (programmer error in scenario construction).
 func Attach(k *sim.Kernel, rng *sim.RNG, target Target, spec Spec) *Generator {
+	return AttachInto(new(Generator), k, rng, target, spec)
+}
+
+// AttachInto is Attach into a caller-provided Generator struct, for arena
+// reuse paths that recycle generators across scenarios. The previous
+// incarnation of g must no longer be running (its events recycled by a
+// kernel reset); its stepFn binding is kept, since it captures g itself.
+func AttachInto(g *Generator, k *sim.Kernel, rng *sim.RNG, target Target, spec Spec) *Generator {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	g := &Generator{kernel: k, rng: rng, target: target, spec: spec}
-	g.stepFn = g.step
+	fn := g.stepFn
+	*g = Generator{kernel: k, rng: rng, target: target, spec: spec}
+	if fn == nil {
+		fn = g.step
+	}
+	g.stepFn = fn
 	start := spec.Start
 	if start < k.Now() {
 		start = k.Now()

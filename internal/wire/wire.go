@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/rtnet/wrtring/internal/core"
 	"github.com/rtnet/wrtring/internal/radio"
@@ -91,9 +92,19 @@ func (r *reader) u64() uint64 {
 func (r *reader) i32() int32 { return int32(r.u32()) }
 func (r *reader) i64() int64 { return int64(r.u64()) }
 
-// MarshalFrame encodes any protocol frame.
+// MarshalFrame encodes any protocol frame into a fresh buffer. Callers on
+// an encoding hot path should prefer AppendFrame, which reuses theirs.
 func MarshalFrame(f radio.Frame) ([]byte, error) {
-	w := &writer{}
+	return AppendFrame(nil, f)
+}
+
+// AppendFrame encodes a frame onto dst (which may be nil) and returns the
+// extended slice, in the append convention of the standard library's binary
+// and strconv packages. Reusing one buffer across frames — as a real
+// deployment's transmit path would — makes steady-state encoding
+// allocation-free once the buffer has grown to the largest frame seen.
+func AppendFrame(dst []byte, f radio.Frame) ([]byte, error) {
+	w := &writer{b: dst}
 	switch v := f.(type) {
 	case *core.RingFrame:
 		w.u8(tagRing)
@@ -178,7 +189,7 @@ func MarshalFrame(f radio.Frame) ([]byte, error) {
 		w.u8(tagCut)
 		w.i32(int32(v.Failed))
 	default:
-		return nil, fmt.Errorf("wire: unsupported frame type %T", f)
+		return dst, fmt.Errorf("wire: unsupported frame type %T", f)
 	}
 	return w.b, nil
 }
@@ -263,13 +274,27 @@ func UnmarshalFrame(b []byte) (radio.Frame, error) {
 	return out, nil
 }
 
+// overheadBufPool recycles the scratch buffers HeaderOverhead encodes into.
+// Overhead accounting runs once per simulated slot in instrumented sweeps,
+// and only the encoded length survives the call, so the bytes themselves
+// never need to be allocated fresh.
+var overheadBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 128)
+		return &b
+	},
+}
+
 // HeaderOverhead returns the encoded size of a frame minus its payload-
 // independent cost — i.e. the control bytes a real deployment pays per
 // slot. For a busy RingFrame the payload is everything after the packet
 // header fields; all of our frames are pure header, so this simply reports
 // the encoded length.
 func HeaderOverhead(f radio.Frame) (int, error) {
-	b, err := MarshalFrame(f)
+	bp := overheadBufPool.Get().(*[]byte)
+	b, err := AppendFrame((*bp)[:0], f)
+	*bp = b[:0]
+	overheadBufPool.Put(bp)
 	if err != nil {
 		return 0, err
 	}

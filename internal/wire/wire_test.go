@@ -134,3 +134,69 @@ func TestHeaderOverheadNumbers(t *testing.T) {
 		t.Fatalf("packet header %d bytes", busy-empty)
 	}
 }
+
+// TestAppendFrameReusesBuffer pins the append convention: AppendFrame must
+// extend dst in place (no fresh allocation once capacity suffices), produce
+// exactly MarshalFrame's bytes, and leave any prefix already in dst intact.
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	frames := []radio.Frame{
+		&core.RingFrame{Slot: core.SlotPayload{Busy: true, Hops: 2, Pkt: core.Packet{Src: 1, Dst: 3, Seq: 9}}},
+		core.NextFreeFrame{Sender: 4, Next: 5, TEar: 12},
+		core.JoinReqFrame{Addr: 100, Code: 101, L: 2, K: 3},
+		core.CutInfo{Failed: 11},
+	}
+	buf := make([]byte, 0, 256)
+	for _, f := range frames {
+		want, err := MarshalFrame(f)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", f, err)
+		}
+		got, err := AppendFrame(buf[:0], f)
+		if err != nil {
+			t.Fatalf("append %T: %v", f, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%T: AppendFrame bytes diverge from MarshalFrame", f)
+		}
+		if &got[0] != &buf[:1][0] {
+			t.Fatalf("%T: AppendFrame reallocated despite sufficient capacity", f)
+		}
+	}
+	// Prefix preservation: appending after existing bytes keeps them.
+	prefix := []byte{0xde, 0xad}
+	out, err := AppendFrame(append(buf[:0], prefix...), core.CutInfo{Failed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out[:2], prefix) {
+		t.Fatalf("AppendFrame clobbered existing prefix: % x", out[:2])
+	}
+	single, _ := MarshalFrame(core.CutInfo{Failed: 1})
+	if !reflect.DeepEqual(out[2:], single) {
+		t.Fatalf("AppendFrame after prefix diverges from MarshalFrame")
+	}
+}
+
+// TestHeaderOverheadPooled exercises the pooled scratch path repeatedly to
+// make sure buffer recycling never changes reported sizes.
+func TestHeaderOverheadPooled(t *testing.T) {
+	f := &core.RingFrame{Slot: core.SlotPayload{Busy: true, Pkt: core.Packet{Src: 1, Dst: 2}}}
+	want, err := HeaderOverhead(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got, err := HeaderOverhead(f)
+		if err != nil || got != want {
+			t.Fatalf("iteration %d: overhead %d (err %v), want %d", i, got, err, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := HeaderOverhead(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("HeaderOverhead allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# bench-trajectory.sh — append the tracked hot-path benchmarks' best-of
-# numbers as one sequence point to the committed perf trajectory
+# bench-trajectory.sh — append the tracked benchmarks' best-of numbers
+# (per-slot hot path: RunForN64, KernelScheduleAndFire; whole-grid rate:
+# GridThroughput) as one sequence point to the committed perf trajectory
 # (benchmarks/bench_results.csv) and emit a machine-readable snapshot
-# benchmarks/BENCH_<seq>.json for CI artifact upload.
+# BENCH_<seq>.json, both under benchmarks/ (for CI artifact upload) and at
+# the repo root (the published trajectory point for this PR).
 #
 # Unlike bench.sh/bench-compare.sh (a machine-local pass/fail regression
 # gate), the trajectory is a committed history: one row group per promoted
-# measurement, so the slots/sec curve across PRs is visible in the repo.
-# CI runs this non-blocking and uploads the JSON; a row only enters the
-# committed CSV when a PR author promotes numbers measured on their machine.
+# measurement, so the slots/sec and runs/sec curves across PRs are visible
+# in the repo. CI runs this non-blocking and uploads the JSON; a row only
+# enters the committed CSV when a PR author promotes numbers measured on
+# their machine.
 #
 # Usage:
 #   scripts/bench-trajectory.sh
@@ -17,6 +20,7 @@
 #   BENCH_COUNT  -count repetitions; the minimum ns/op rep is recorded (default 3)
 #   BENCH_TIME   -benchtime per benchmark (unset: go's default 1s)
 #   BENCH_LABEL  label column for the new rows (default: current branch name)
+#   BENCH_SEQ    sequence number for the new rows (default: max existing + 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,37 +45,43 @@ go test -run '^$' -bench 'BenchmarkRunForN64' -benchmem \
 	"${timeflag[@]}" -count "$count" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkKernelScheduleAndFire' -benchmem \
 	"${timeflag[@]}" -count "$count" ./internal/sim | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkGridThroughput' -benchmem \
+	"${timeflag[@]}" -count "$count" ./internal/runner | tee -a "$raw"
 
 if [ ! -f "$csv" ]; then
-	echo "seq,label,date,commit,benchmark,ns_per_op,slots_per_sec,bytes_per_op,allocs_per_op" > "$csv"
+	echo "seq,label,date,commit,benchmark,ns_per_op,slots_per_sec,bytes_per_op,allocs_per_op,allocs_per_run" > "$csv"
 fi
-seq="$(awk -F, 'NR>1 && $1+0>m {m=$1+0} END {print m+1}' "$csv")"
+seq="${BENCH_SEQ:-$(awk -F, 'NR>1 && $1+0>m {m=$1+0} END {print m+1}' "$csv")}"
 
 # Best-of (minimum ns/op) per benchmark across the -count reps, keeping the
 # companion metrics from the same rep. The -N GOMAXPROCS suffix is stripped.
+# slots_per_sec holds the benchmark's native rate metric: slots/sec for the
+# per-slot benchmarks, runs/sec (whole scenarios per second) for the grid.
 awk -v seq="$seq" -v label="$label" -v date="$today" -v commit="$commit" '
 /^Benchmark/ {
 	name = $1
 	sub(/^Benchmark/, "", name)
 	sub(/-[0-9]+$/, "", name)
-	ns = ""; sps = ""; bytes = ""; allocs = ""
+	ns = ""; sps = ""; bytes = ""; allocs = ""; apr = ""
 	for (i = 2; i <= NF; i++) {
-		if ($i == "ns/op")     ns     = $(i-1)
-		if ($i == "slots/sec") sps    = $(i-1)
-		if ($i == "B/op")      bytes  = $(i-1)
-		if ($i == "allocs/op") allocs = $(i-1)
+		if ($i == "ns/op")      ns     = $(i-1)
+		if ($i == "slots/sec")  sps    = $(i-1)
+		if ($i == "runs/sec")   sps    = $(i-1)
+		if ($i == "B/op")       bytes  = $(i-1)
+		if ($i == "allocs/op")  allocs = $(i-1)
+		if ($i == "allocs/run") apr    = $(i-1)
 	}
 	if (ns == "") next
 	if (!(name in best) || ns + 0 < best[name] + 0) {
-		best[name] = ns; S[name] = sps; B[name] = bytes; A[name] = allocs
+		best[name] = ns; S[name] = sps; B[name] = bytes; A[name] = allocs; R[name] = apr
 	}
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
 	for (j = 1; j <= n; j++) {
 		name = order[j]
-		printf "%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
-			seq, label, date, commit, name, best[name], S[name], B[name], A[name]
+		printf "%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			seq, label, date, commit, name, best[name], S[name], B[name], A[name], R[name]
 	}
 }' "$raw" >> "$csv"
 
@@ -79,8 +89,8 @@ out="benchmarks/BENCH_${seq}.json"
 awk -F, -v seq="$seq" '
 NR > 1 && $1 == seq {
 	if (rows != "") rows = rows ",\n"
-	rows = rows sprintf("    {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"slots_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-		$5, $6, ($7 == "" ? "null" : $7), $8, $9)
+	rows = rows sprintf("    {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"rate_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"allocs_per_run\": %s}",
+		$5, $6, ($7 == "" ? "null" : $7), $8, $9, ($10 == "" ? "null" : $10))
 	label = $2; date = $3; commit = $4
 }
 END {
@@ -88,4 +98,8 @@ END {
 		seq, label, date, commit, rows
 }' "$csv" > "$out"
 
-echo "appended trajectory point $seq to $csv; wrote $out" >&2
+# Publish the snapshot at the repo root as well — the committed trajectory
+# point for the PR that promoted these rows.
+cp "$out" "BENCH_${seq}.json"
+
+echo "appended trajectory point $seq to $csv; wrote $out and BENCH_${seq}.json" >&2
