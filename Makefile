@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-grid bench-trajectory cover examples experiments serve cluster-smoke clean
+.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-grid bench-trajectory cover examples experiments serve cluster-smoke soak-smoke clean
 
 all: build vet test
 
@@ -83,6 +83,13 @@ serve:
 # cluster").
 cluster-smoke:
 	scripts/cluster-smoke.sh
+
+# soak-smoke boots a coordinator + 2 workers, runs a grid through
+# POST /v1/batches twice (second pass must be fully cache-served), then puts
+# the cluster under a 10s wrtsoak load run. The soak summary JSON lands in
+# soak-summary.json (override with SOAK_SUMMARY=...).
+soak-smoke:
+	scripts/soak-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/rtnet/wrtring/internal/cluster"
+	"github.com/rtnet/wrtring/internal/serve"
 )
 
 // workerFlags collects repeated -worker id=url flags.
@@ -63,6 +64,7 @@ func main() {
 	httpTimeout := flag.Duration("http-timeout", 30*time.Second, "per-request deadline on inbound API endpoints (debug endpoints exempt)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logEntries := flag.Int("log-entries", 0, "access-log ring size for /debug/log (0 = default)")
+	maxBatchPoints := flag.Int64("max-batch-points", serve.DefaultMaxBatchPoints, "max points one /v1/batches grid may expand to")
 	flag.Parse()
 
 	if len(workers) == 0 {
@@ -81,6 +83,7 @@ func main() {
 		HTTPTimeout:    *httpTimeout,
 		EnablePprof:    *pprofOn,
 		LogEntries:     *logEntries,
+		MaxBatchPoints: *maxBatchPoints,
 	})
 	if err != nil {
 		log.Fatalf("wrtcoord: %v", err)

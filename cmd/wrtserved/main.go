@@ -36,6 +36,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries, "max cached results")
 	cacheBytes := flag.Int64("cache-bytes", 0, "max cached result bytes (0 = entries bound only)")
 	maxBatch := flag.Int("max-batch", 256, "max scenarios per submission")
+	maxBatchPoints := flag.Int64("max-batch-points", serve.DefaultMaxBatchPoints, "max points one /v1/batches grid may expand to")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
 	workerID := flag.String("id", "", "worker identity when serving behind a wrtcoord cluster (surfaced on /healthz, /metrics, /v1/stats)")
 	httpTimeout := flag.Duration("http-timeout", 30*time.Second, "per-request deadline on API endpoints (debug endpoints exempt)")
@@ -46,7 +47,7 @@ func main() {
 	srv := serve.New(serve.Config{
 		Workers: *workers, QueueCapacity: *queueCap,
 		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
-		MaxBatch: *maxBatch, WorkerID: *workerID,
+		MaxBatch: *maxBatch, MaxBatchPoints: *maxBatchPoints, WorkerID: *workerID,
 		RequestTimeout: *httpTimeout, EnablePprof: *pprofOn, LogEntries: *logEntries,
 	})
 	httpSrv := &http.Server{

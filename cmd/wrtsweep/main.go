@@ -46,7 +46,12 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-run completion on stderr")
 	server := flag.String("server", "",
 		"run the sweep remotely against a wrtserved or wrtcoord URL instead of in-process")
+	batch := flag.Bool("batch", false,
+		"with -server: submit the whole grid as one POST /v1/batches and stream results, instead of per-run submissions")
 	flag.Parse()
+	if *batch && *server == "" {
+		fail("-batch requires -server")
+	}
 
 	base := wrtring.Scenario{N: *n, L: *l, K: *k, Seed: *seed, Duration: *dur}
 	switch *load {
@@ -63,7 +68,11 @@ func main() {
 		fail("unknown load %q", *load)
 	}
 
-	var pts []sweep.Point
+	// The flags build a serializable grid spec, and the points expand from
+	// it — the same spec and the same expansion the batch API uses
+	// server-side, so -batch, -server and local runs are provably the same
+	// point set in the same order.
+	var axis sweep.Axis
 	fields := strings.Split(*values, ",")
 	switch *over {
 	case "n":
@@ -75,7 +84,7 @@ func main() {
 			}
 			ns = append(ns, v)
 		}
-		pts = sweep.OverN(base, ns)
+		axis = sweep.AxisN(ns)
 	case "seed":
 		var seeds []uint64
 		for _, f := range fields {
@@ -85,7 +94,7 @@ func main() {
 			}
 			seeds = append(seeds, v)
 		}
-		pts = sweep.OverSeeds(base, seeds)
+		axis = sweep.AxisSeeds(seeds)
 	case "quota":
 		var lks [][2]int
 		for _, f := range fields {
@@ -100,21 +109,25 @@ func main() {
 			}
 			lks = append(lks, [2]int{lv, kv})
 		}
-		pts = sweep.OverQuota(base, lks)
+		axis = sweep.AxisQuota(lks)
 	default:
 		fail("unknown sweep dimension %q", *over)
 	}
 
+	axes := []sweep.Axis{axis}
 	switch *protocols {
 	case "wrt":
 	case "tpt":
-		for i := range pts {
-			pts[i].Scenario.Protocol = wrtring.TPT
-		}
+		base.Protocol = wrtring.TPT
 	case "both":
-		pts = sweep.OverProtocol(pts)
+		axes = append(axes, sweep.AxisProtocols())
 	default:
 		fail("unknown protocols %q", *protocols)
+	}
+	grid := sweep.Grid{Base: base, Axes: axes}
+	pts, err := grid.Points()
+	if err != nil {
+		fail("building sweep: %v", err)
 	}
 
 	var onDone func(done, total int, o sweep.Outcome)
@@ -128,9 +141,12 @@ func main() {
 		}
 	}
 	var outs []sweep.Outcome
-	if *server != "" {
+	switch {
+	case *batch:
+		outs = runBatch(*server, grid, pts, onDone)
+	case *server != "":
 		outs = runRemote(*server, pts, onDone)
-	} else {
+	default:
 		outs = sweep.RunProgress(pts, *jobs, onDone)
 	}
 	fmt.Print(sweep.CSV(outs))
@@ -154,47 +170,35 @@ func runRemote(serverURL string, pts []sweep.Point, onDone func(done, total int,
 
 	outs := make([]sweep.Outcome, len(pts))
 	ids := make([]string, len(pts))
-	pending := make([]int, len(pts)) // indices awaiting admission
-	for i := range pts {
-		pending[i] = i
+	scenarios := make([]wrtring.Scenario, len(pts))
+	for i, p := range pts {
+		scenarios[i] = p.Scenario
 	}
-	for len(pending) > 0 {
-		batch := make([]wrtring.Scenario, len(pending))
-		for i, idx := range pending {
-			batch[i] = pts[idx].Scenario
+	// Bounded, jittered retry honouring the service's Retry-After hint — the
+	// shared policy in serve.RetryPolicy, so this client and wrtsoak back off
+	// identically instead of hot-looping a saturated service.
+	resp, err := client.SubmitScenariosRetry(ctx, scenarios, serve.RetryPolicy{})
+	if err != nil {
+		fail("submitting to %s: %v", serverURL, err)
+	}
+	for i, run := range resp.Runs {
+		switch run.Status {
+		case "rejected":
+			outs[i].Point = pts[i]
+			outs[i].Err = fmt.Errorf("rejected after retries: %s", run.Error)
+		case "invalid":
+			outs[i].Point = pts[i]
+			outs[i].Err = errors.New(run.Error)
+		default:
+			ids[i] = run.ID
 		}
-		code, resp, err := client.SubmitScenarios(ctx, batch)
-		if err != nil {
-			fail("submitting to %s: %v", serverURL, err)
-		}
-		if resp == nil || len(resp.Runs) != len(pending) {
-			fail("submitting to %s: HTTP %d with malformed response", serverURL, code)
-		}
-		var retry []int
-		for i, run := range resp.Runs {
-			idx := pending[i]
-			switch run.Status {
-			case "rejected":
-				retry = append(retry, idx)
-			case "invalid":
-				outs[idx].Point = pts[idx]
-				outs[idx].Err = errors.New(run.Error)
-			default:
-				ids[idx] = run.ID
-			}
-		}
-		if len(retry) > 0 {
-			// The service is saturated; honour its standard backpressure hint.
-			time.Sleep(serve.DefaultRetryAfter)
-		}
-		pending = retry
 	}
 
 	done := 0
 	for idx, p := range pts {
 		outs[idx].Point = p
 		if ids[idx] == "" {
-			continue // invalid at submission; Err already set
+			continue // invalid or rejected at submission; Err already set
 		}
 		st, err := client.Wait(ctx, ids[idx], 20*time.Millisecond)
 		switch {
@@ -216,6 +220,63 @@ func runRemote(serverURL string, pts []sweep.Point, onDone func(done, total int,
 		if onDone != nil {
 			onDone(done, len(pts), outs[idx])
 		}
+	}
+	return outs
+}
+
+// runBatch submits the whole grid spec as one POST /v1/batches and streams
+// the results back as NDJSON. The server expands the identical spec with the
+// identical expansion code (sweep.Grid.Points), so the shard indices line up
+// one-to-one with the locally expanded pts — results are reassembled into
+// input order as the completion-ordered stream arrives. Determinism keeps
+// the bytes identical to a local run, so the CSV is the same either way.
+func runBatch(serverURL string, grid sweep.Grid, pts []sweep.Point, onDone func(done, total int, o sweep.Outcome)) []sweep.Outcome {
+	client := serve.NewClient(serverURL)
+	ctx := context.Background()
+
+	sub, err := client.SubmitBatch(ctx, grid)
+	if err != nil {
+		fail("submitting batch to %s: %v", serverURL, err)
+	}
+	if sub.Expanded != int64(len(pts)) {
+		fail("server expanded %d points, local expansion has %d — version skew between client and server",
+			sub.Expanded, len(pts))
+	}
+
+	outs := make([]sweep.Outcome, len(pts))
+	for i := range pts {
+		outs[i].Point = pts[i]
+	}
+	done := 0
+	n, err := client.StreamBatchResults(ctx, sub.ID, func(l serve.BatchResultLine) error {
+		if l.Index < 0 || l.Index >= int64(len(pts)) {
+			return fmt.Errorf("stream shard index %d out of range", l.Index)
+		}
+		o := &outs[l.Index]
+		switch {
+		case l.Status != serve.ShardCompleted:
+			o.Err = fmt.Errorf("remote shard %s: %s", l.Status, l.Error)
+		case l.Error != "":
+			o.Err = fmt.Errorf("remote shard done but result unavailable: %s", l.Error)
+		default:
+			var res wrtring.Result
+			if err := json.Unmarshal(l.Result, &res); err != nil {
+				o.Err = fmt.Errorf("decoding remote result: %w", err)
+			} else {
+				o.Result = &res
+			}
+		}
+		done++
+		if onDone != nil {
+			onDone(done, len(pts), *o)
+		}
+		return nil
+	})
+	if err != nil {
+		fail("streaming batch %s: %v", sub.ID, err)
+	}
+	if n != len(pts) {
+		fail("batch stream ended after %d of %d shards", n, len(pts))
 	}
 	return outs
 }

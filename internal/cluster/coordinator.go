@@ -53,6 +53,11 @@ type Config struct {
 	MaxBatch     int
 	MaxBodyBytes int64
 	RetryAfter   time.Duration
+	// MaxBatchPoints / MaxBatches / BatchPollInterval size the /v1/batches
+	// subsystem; they mirror serve.Config (<= 0: serve defaults).
+	MaxBatchPoints    int64
+	MaxBatches        int
+	BatchPollInterval time.Duration
 	// HTTPTimeout bounds each inbound API request end to end
 	// (<= 0: httpx.DefaultRequestTimeout); distinct from RequestTimeout,
 	// which bounds the coordinator's own calls to workers. Debug endpoints
@@ -108,6 +113,7 @@ type Coordinator struct {
 	workers map[string]*worker
 	order   []*worker // config order, for stable metrics/iteration
 	surface *httpx.Surface
+	batches *serve.Batches
 	logf    func(format string, args ...any)
 
 	ctx    context.Context
@@ -224,11 +230,13 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.ring = NewRing(ids, cfg.Replicas)
 
+	c.batches = c.newBatches()
 	mux := c.surface.Mux()
 	mux.HandleFunc("POST /v1/runs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	serve.MountBatchAPI(c.surface, c.batches, cfg.RetryAfter)
 
 	for _, w := range c.order {
 		for i := 0; i < cfg.MaxInflight; i++ {
@@ -243,6 +251,9 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Handler returns the composed HTTP stack (also usable under httptest).
 func (c *Coordinator) Handler() http.Handler { return c.surface.Handler() }
+
+// Batches exposes the batch manager (tests).
+func (c *Coordinator) Batches() *serve.Batches { return c.batches }
 
 // Submit admits one scenario: it is routed to its hash-ring owner, coalesced
 // onto an identical in-flight job, or answered from coordinator memory when
@@ -386,10 +397,17 @@ func (c *Coordinator) Drain(timeout time.Duration) serve.DrainReport {
 			c.retireLocked(j.id)
 		}
 	}
-	return serve.DrainReport{
+	report := serve.DrainReport{
 		Completed:        c.completed - before.Completed,
 		Failed:           c.failed - before.Failed,
 		Dropped:          c.dropped - before.Dropped,
 		DeadlineExceeded: deadlineExceeded,
 	}
+	c.mu.Unlock()
+	// Every job is terminal now, so the batch trackers settle their shard
+	// accounting (conservation per batch) and exit; unfed shards were
+	// rejected the moment admission saw ErrDraining.
+	c.batches.Drain(timeout)
+	c.mu.Lock()
+	return report
 }

@@ -58,26 +58,35 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// Done: the result bytes live in the owner worker's cache shard. Proxy
 	// them through; on any failure the job stays "done" (the work happened)
 	// with a recovery hint — resubmitting recomputes the identical bytes.
-	// The worker handle can be missing entirely (a job recorded against a
-	// worker the coordinator no longer knows, e.g. after a config change);
-	// that is the same recovery case, not a panic.
-	worker, ok := c.workers[workerID]
-	if !ok || worker == nil {
-		snapshot.Error = fmt.Sprintf(
-			"result unavailable from worker %q (unknown or removed); resubmit the scenario to recompute", workerID)
-		httpx.WriteJSON(w, http.StatusOK, snapshot)
-		return
-	}
-	code, st, err := worker.client.Status(r.Context(), id)
-	if err != nil || code != http.StatusOK || st.Result == nil {
-		snapshot.Error = fmt.Sprintf(
-			"result unavailable from worker %s (evicted or worker lost); resubmit the scenario to recompute", workerID)
+	st, err := c.fetchResult(r.Context(), id, workerID)
+	if err != nil {
+		snapshot.Error = err.Error()
 		httpx.WriteJSON(w, http.StatusOK, snapshot)
 		return
 	}
 	snapshot.Result = st.Result
 	snapshot.TraceEvents = st.TraceEvents
 	httpx.WriteJSON(w, http.StatusOK, snapshot)
+}
+
+// fetchResult proxies a done job's status (result bytes included) from its
+// owner worker's cache shard. The worker handle can be missing entirely (a
+// job recorded against a worker the coordinator no longer knows, e.g. after
+// a config change); that is a recovery case — resubmitting recomputes the
+// identical bytes — not a panic. Shared by handleStatus and the batch
+// backend's JobResult.
+func (c *Coordinator) fetchResult(ctx context.Context, id, workerID string) (*serve.StatusResponse, error) {
+	worker, ok := c.workers[workerID]
+	if !ok || worker == nil {
+		return nil, fmt.Errorf(
+			"result unavailable from worker %q (unknown or removed); resubmit the scenario to recompute", workerID)
+	}
+	code, st, err := worker.client.Status(ctx, id)
+	if err != nil || code != http.StatusOK || st.Result == nil {
+		return nil, fmt.Errorf(
+			"result unavailable from worker %s (evicted or worker lost); resubmit the scenario to recompute", workerID)
+	}
+	return st, nil
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -105,6 +114,9 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Metric("wrtcoord_coalesced_total", st.Coalesced, "duplicate submissions folded onto in-flight jobs")
 	m.Metric("wrtcoord_redispatched_total", st.Redispatched, "job moves to another worker after a failure")
 	m.Metric("wrtcoord_remote_cache_hits_total", st.RemoteCacheHits, "dispatches answered from a worker's cache shard")
+	bsStats := c.batches.Stats()
+	m.Metric("wrtcoord_batches_created_total", bsStats.Created, "batches accepted by POST /v1/batches")
+	m.Metric("wrtcoord_batches_active", bsStats.Active, "retained batches still running")
 
 	scrapes := c.scrapeWorkers(r.Context())
 	var hits, misses, evictions, fleetAdmitted, fleetCompleted int64

@@ -75,6 +75,10 @@ type Surface struct {
 	root    *http.ServeMux
 	ring    *Ring
 	handler http.Handler
+	// maxBody and logf are kept for HandleStream, which composes its own
+	// per-route stack after NewSurface has built the shared ones.
+	maxBody int64
+	logf    func(format string, args ...any)
 }
 
 // NewSurface builds the composed surface. Register API routes on Mux(),
@@ -91,9 +95,11 @@ func NewSurface(cfg Config) *Surface {
 		logf = log.Printf
 	}
 	s := &Surface{
-		api:  http.NewServeMux(),
-		root: http.NewServeMux(),
-		ring: NewRing(cfg.LogEntries),
+		api:     http.NewServeMux(),
+		root:    http.NewServeMux(),
+		ring:    NewRing(cfg.LogEntries),
+		maxBody: cfg.MaxBodyBytes,
+		logf:    logf,
 	}
 
 	debugMux := http.NewServeMux()
@@ -123,6 +129,18 @@ func (s *Surface) wrapOuter(h http.Handler, logf func(string, ...any)) http.Hand
 
 // Mux is the API route registry (the innermost mux of the stack).
 func (s *Surface) Mux() *http.ServeMux { return s.api }
+
+// HandleStream registers a streaming API route exempt from the per-request
+// timeout, the way /debug/pprof already is: a long-lived response (NDJSON
+// or SSE results trickling out as work completes) is legitimate work that
+// the deadline would truncate — and the timeout stage's buffering writer
+// would defeat per-line flushing anyway. Everything else still applies:
+// request ID, access log, panic recovery, and the body cap. The pattern
+// must be more specific than the API catch-all (net/http's precedence
+// routes it ahead of "/"), which every concrete "GET /v1/..." pattern is.
+func (s *Surface) HandleStream(pattern string, h http.Handler) {
+	s.root.Handle(pattern, s.wrapOuter(bodyLimit(s.maxBody, h), s.logf))
+}
 
 // Handler is the fully composed stack, ready for http.Server or httptest.
 func (s *Surface) Handler() http.Handler { return s.handler }
@@ -194,6 +212,20 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	n, err := sw.ResponseWriter.Write(b)
 	sw.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers (NDJSON,
+// SSE) behind the access log can push each line to the client as it is
+// produced. Flushing an unwritten response commits the headers, so it
+// counts as an implicit 200 for the log, matching net/http's behaviour.
+func (sw *statusWriter) Flush() {
+	if !sw.wrote {
+		sw.wrote = true
+		sw.status = http.StatusOK
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func accessLog(ring *Ring, next http.Handler) http.Handler {

@@ -2,6 +2,7 @@ package httpx
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -221,5 +222,73 @@ func TestDebugSurface(t *testing.T) {
 	defer tsOff.Close()
 	if code, _ := get(t, tsOff.Client(), tsOff.URL+"/debug/pprof/cmdline", nil); code != http.StatusNotFound {
 		t.Fatalf("pprof should be gated off by default: HTTP %d", code)
+	}
+}
+
+// TestHandleStreamExemptFromTimeout: a route registered via HandleStream
+// keeps streaming past the per-request deadline that would 503 an ordinary
+// API route, and every line reaches the client as it is flushed. This is
+// the regression test for the batch results endpoint: without the
+// exemption, the timeout stage's buffering writer both truncated the
+// stream at the deadline and defeated per-line flushing.
+func TestHandleStreamExemptFromTimeout(t *testing.T) {
+	const timeout = 50 * time.Millisecond
+	s := NewSurface(Config{RequestTimeout: timeout, Logf: func(string, ...any) {}})
+
+	// An ordinary API route slower than the deadline: must 503.
+	s.Mux().HandleFunc("GET /v1/slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	// The streaming route emits lines well past the deadline, flushing each.
+	const lines = 5
+	s.HandleStream("GET /v1/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("streaming writer does not implement http.Flusher")
+			return
+		}
+		for i := 0; i < lines; i++ {
+			fmt.Fprintf(w, "line %d\n", i)
+			f.Flush()
+			time.Sleep(2 * timeout / lines)
+		}
+	}))
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	if code, _ := get(t, client, srv.URL+"/v1/slow", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("slow API route: got %d, want 503", code)
+	}
+
+	start := time.Now()
+	resp, err := client.Get(srv.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*timeout {
+		t.Fatalf("stream finished in %v; it should have outlived the %v deadline", elapsed, timeout)
+	}
+	if got := strings.Count(string(body), "\n"); got != lines {
+		t.Fatalf("received %d lines, want %d (body %q)", got, lines, body)
+	}
+	// The stream is still logged (with an implicit 200 from the first flush).
+	found := false
+	for _, e := range s.Log().Snapshot() {
+		if e.Path == "/v1/stream" && e.Status == http.StatusOK {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("streaming request missing from the access log")
 	}
 }

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/rtnet/wrtring/sweep"
+)
+
+// Client methods for the /v1/batches API. The stream reader deliberately
+// does not use c.HTTP: its request-level timeout (60 s by default) would
+// sever a long-running batch mid-stream, so streaming runs on a clone with
+// no timeout and lets the caller's context bound it instead.
+
+// SubmitBatch POSTs a grid spec and returns the accepted batch handle.
+func (c *Client) SubmitBatch(ctx context.Context, g sweep.Grid) (*BatchSubmitResponse, error) {
+	body, err := sweep.EncodeGrid(g)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding grid: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/batches", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("serve: submit batch: HTTP %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+	var out BatchSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding batch response: %w", err)
+	}
+	return &out, nil
+}
+
+// BatchStatus GETs one batch's status and shard accounting.
+func (c *Client) BatchStatus(ctx context.Context, id string) (*BatchStatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/batches/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: batch status %s: HTTP %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	var out BatchStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding batch status: %w", err)
+	}
+	return &out, nil
+}
+
+// CancelBatch DELETEs a batch: feeding stops, admitted shards drain.
+func (c *Client) CancelBatch(ctx context.Context, id string) (*BatchStatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/batches/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: cancel batch %s: HTTP %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	var out BatchStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding cancel response: %w", err)
+	}
+	return &out, nil
+}
+
+// maxResultLine bounds one streamed NDJSON line (a result payload plus
+// framing); lines are small in practice, this is a defensive ceiling.
+const maxResultLine = 16 << 20
+
+// StreamBatchResults consumes a batch's NDJSON result stream, invoking fn
+// per line until the stream ends (batch finished), fn returns an error, or
+// ctx is cancelled. It returns the number of lines delivered.
+func (c *Client) StreamBatchResults(ctx context.Context, id string, fn func(BatchResultLine) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/batches/"+id+"/results", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	// No request timeout: the stream lives as long as the batch (or ctx).
+	streamClient := &http.Client{Transport: c.HTTP.Transport}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("serve: batch results %s: HTTP %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxResultLine)
+	n := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line BatchResultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return n, fmt.Errorf("serve: decoding result line %d: %w", n, err)
+		}
+		if err := fn(line); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("serve: reading result stream: %w", err)
+	}
+	return n, nil
+}
+
+// readError extracts the message from an httpx error body for wrapping.
+func readError(r io.Reader) string {
+	body, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(body))
+}

@@ -40,25 +40,32 @@ func NewClient(baseURL string) *Client {
 // the caller can act on the per-item statuses; err covers transport and
 // decoding failures only.
 func (c *Client) Submit(ctx context.Context, scenarios []json.RawMessage) (int, *SubmitResponse, error) {
+	code, out, _, err := c.submit(ctx, scenarios)
+	return code, out, err
+}
+
+// submit is Submit plus the response headers, which SubmitScenariosRetry
+// needs for the Retry-After backpressure hint.
+func (c *Client) submit(ctx context.Context, scenarios []json.RawMessage) (int, *SubmitResponse, http.Header, error) {
 	body, err := json.Marshal(SubmitRequest{Scenarios: scenarios})
 	if err != nil {
-		return 0, nil, fmt.Errorf("serve: encoding submit request: %w", err)
+		return 0, nil, nil, fmt.Errorf("serve: encoding submit request: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	var out SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return resp.StatusCode, nil, fmt.Errorf("serve: decoding submit response (HTTP %d): %w", resp.StatusCode, err)
+		return resp.StatusCode, nil, resp.Header, fmt.Errorf("serve: decoding submit response (HTTP %d): %w", resp.StatusCode, err)
 	}
-	return resp.StatusCode, &out, nil
+	return resp.StatusCode, &out, resp.Header, nil
 }
 
 // SubmitScenarios is Submit over parsed scenario values.

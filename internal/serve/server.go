@@ -25,6 +25,13 @@ type Config struct {
 	// WorkerID names this instance when it serves as a cluster worker
 	// (cmd/wrtserved -id); surfaced on /healthz, /metrics and /v1/stats.
 	WorkerID string
+	// MaxBatchPoints bounds one batch grid's expansion
+	// (<= 0: DefaultMaxBatchPoints).
+	MaxBatchPoints int64
+	// MaxBatches bounds retained batches (<= 0: DefaultMaxBatches).
+	MaxBatches int
+	// BatchPollInterval paces batch shard tracking (<= 0: DefaultBatchPoll).
+	BatchPollInterval time.Duration
 	// RetryAfter is the backpressure hint on 429/503 responses
 	// (<= 0: DefaultRetryAfter).
 	RetryAfter time.Duration
@@ -56,6 +63,7 @@ type Config struct {
 type Server struct {
 	queue      *Queue
 	cache      *Cache
+	batches    *Batches
 	maxBatch   int
 	workerID   string
 	retryAfter time.Duration
@@ -85,12 +93,22 @@ func New(cfg Config) *Server {
 			Logf:           cfg.Logf,
 		}),
 	}
+	s.batches = NewBatches(BatchOptions{
+		Backend:      queueBackend{s.queue},
+		MaxPoints:    cfg.MaxBatchPoints,
+		MaxBatches:   cfg.MaxBatches,
+		PollInterval: cfg.BatchPollInterval,
+		Retryable:    func(err error) bool { return errors.Is(err, ErrQueueFull) },
+		Fatal:        func(err error) bool { return errors.Is(err, ErrDraining) },
+		Logf:         cfg.Logf,
+	})
 	mux := s.surface.Mux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	MountBatchAPI(s.surface, s.batches, cfg.RetryAfter)
 	return s
 }
 
@@ -103,13 +121,22 @@ func (s *Server) Queue() *Queue { return s.queue }
 // Cache exposes the result cache (metrics, tests).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Batches exposes the batch manager (tests, shutdown).
+func (s *Server) Batches() *Batches { return s.batches }
+
 // AccessLog exposes the surface's ring buffer (tests).
 func (s *Server) AccessLog() *httpx.Ring { return s.surface.Log() }
 
-// Drain gracefully shuts the queue down; see Queue.Drain. The HTTP listener
-// itself is the caller's to stop (http.Server.Shutdown in cmd/wrtserved).
+// Drain gracefully shuts the queue down (see Queue.Drain), then retires the
+// batch trackers — the queue drain leaves every job terminal, so each
+// in-flight batch settles with its conservation law intact (unstarted
+// shards rejected, aborted ones dropped) and its partial results remain
+// streamable. The HTTP listener itself is the caller's to stop
+// (http.Server.Shutdown in cmd/wrtserved).
 func (s *Server) Drain(timeout time.Duration) DrainReport {
-	return s.queue.Drain(timeout)
+	report := s.queue.Drain(timeout)
+	s.batches.Drain(timeout)
+	return report
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +215,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Metric("wrtserved_cache_entries", cs.Entries, "results currently cached")
 	m.Metric("wrtserved_cache_bytes", cs.Bytes, "bytes of cached result payload")
 	m.Metric("wrtserved_cache_hit_ratio", fmt.Sprintf("%.6f", cs.HitRatio()), "hits / (hits + misses)")
+	bsStats := s.batches.Stats()
+	m.Metric("wrtserved_batches_created_total", bsStats.Created, "batches accepted by POST /v1/batches")
+	m.Metric("wrtserved_batches_active", bsStats.Active, "retained batches still running")
 	for _, ls := range s.queue.LatencySnapshot() {
 		label := fmt.Sprintf(`protocol=%q`, ls.Protocol)
 		m.Help("wrtserved_job_latency_ms", "completed-job wall-clock latency (internal/stats histogram)")

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	wrtring "github.com/rtnet/wrtring"
+)
+
+// TestGridPointsMatchCombinators pins the contract the batch API depends
+// on: a Grid expanded server-side is the exact point set, in the exact
+// order, the Over* combinators build locally.
+func TestGridPointsMatchCombinators(t *testing.T) {
+	base := wrtring.Scenario{N: 8, Seed: 1, Duration: 5000}
+	cases := []struct {
+		name string
+		grid Grid
+		want []Point
+	}{
+		{
+			name: "n",
+			grid: Grid{Base: base, Axes: []Axis{AxisN([]int{5, 8, 10})}},
+			want: OverN(base, []int{5, 8, 10}),
+		},
+		{
+			name: "n x protocol",
+			grid: Grid{Base: base, Axes: []Axis{AxisN([]int{5, 8, 10}), AxisProtocols()}},
+			want: OverProtocol(OverN(base, []int{5, 8, 10})),
+		},
+		{
+			name: "seed x protocol",
+			grid: Grid{Base: base, Axes: []Axis{AxisSeeds([]uint64{1, 2, 3}), AxisProtocols()}},
+			want: OverProtocol(OverSeeds(base, []uint64{1, 2, 3})),
+		},
+		{
+			name: "quota",
+			grid: Grid{Base: base, Axes: []Axis{AxisQuota([][2]int{{1, 1}, {2, 2}, {4, 2}})}},
+			want: OverQuota(base, [][2]int{{1, 1}, {2, 2}, {4, 2}}),
+		},
+		{
+			name: "loss burst x seed",
+			grid: Grid{Base: base, Axes: []Axis{AxisLoss([]float64{0.01, 0.05}, 8), AxisSeeds([]uint64{7, 9})}},
+			want: func() []Point {
+				var out []Point
+				for _, seed := range []uint64{7, 9} {
+					s := base
+					s.Seed = seed
+					for _, p := range OverLoss(s, []float64{0.01, 0.05}, 8) {
+						p.Name = "seed=" + map[uint64]string{7: "7", 9: "9"}[seed] + "/" + p.Name
+						out = append(out, p)
+					}
+				}
+				// The grid varies loss fastest (axis 0), seed slowest.
+				return out
+			}(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.grid.Points()
+			if err != nil {
+				t.Fatalf("Points: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("expansion diverged from combinators:\n got %+v\nwant %+v", names(got), names(tc.want))
+			}
+		})
+	}
+}
+
+func names(pts []Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TestGridExpansionOrderGolden pins the expansion order byte-for-byte: the
+// batch API's streaming indices and every cached result key depend on this
+// order never changing silently.
+func TestGridExpansionOrderGolden(t *testing.T) {
+	g := Grid{
+		Base: wrtring.Scenario{N: 8, Seed: 1, Duration: 5000},
+		Axes: []Axis{
+			AxisN([]int{5, 8}),
+			AxisSeeds([]uint64{1, 2}),
+			AxisProtocols(),
+		},
+	}
+	want := []string{
+		"wrt-ring/seed=1/N=5",
+		"wrt-ring/seed=1/N=8",
+		"wrt-ring/seed=2/N=5",
+		"wrt-ring/seed=2/N=8",
+		"tpt/seed=1/N=5",
+		"tpt/seed=1/N=8",
+		"tpt/seed=2/N=5",
+		"tpt/seed=2/N=8",
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	if got := names(pts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("expansion order changed:\n got %v\nwant %v", got, want)
+	}
+	if g.Size() != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", g.Size(), len(want))
+	}
+	// PointAt must walk the identical order without materialising the grid.
+	for i := range pts {
+		p, err := g.PointAt(int64(i))
+		if err != nil {
+			t.Fatalf("PointAt(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(p, pts[i]) {
+			t.Fatalf("PointAt(%d) = %+v, want %+v", i, p, pts[i])
+		}
+	}
+	if _, err := g.PointAt(int64(len(pts))); err == nil {
+		t.Fatal("PointAt past the end did not fail")
+	}
+	if _, err := g.PointAt(-1); err == nil {
+		t.Fatal("PointAt(-1) did not fail")
+	}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	g := Grid{
+		Base: wrtring.Scenario{N: 8, Seed: 3, Duration: 2000},
+		Axes: []Axis{AxisN([]int{5, 8, 10}), AxisProtocols("wrt-ring", "tpt")},
+	}
+	data, err := EncodeGrid(g)
+	if err != nil {
+		t.Fatalf("EncodeGrid: %v", err)
+	}
+	back, err := ParseGrid(data)
+	if err != nil {
+		t.Fatalf("ParseGrid: %v", err)
+	}
+	a, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(a), names(b)) {
+		t.Fatalf("round trip changed the point set: %v vs %v", names(a), names(b))
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	base := wrtring.Scenario{N: 8}
+	bad := []struct {
+		name string
+		grid Grid
+	}{
+		{"no axes", Grid{Base: base}},
+		{"unknown kind", Grid{Base: base, Axes: []Axis{{Over: "flux"}}}},
+		{"empty values", Grid{Base: base, Axes: []Axis{{Over: OverKindN}}}},
+		{"foreign values", Grid{Base: base, Axes: []Axis{{Over: OverKindN, Ns: []int{5}, Seeds: []uint64{1}}}}},
+		{"burstLen on n", Grid{Base: base, Axes: []Axis{{Over: OverKindN, Ns: []int{5}, BurstLen: 4}}}},
+		{"tiny n", Grid{Base: base, Axes: []Axis{AxisN([]int{2})}}},
+		{"bad protocol", Grid{Base: base, Axes: []Axis{AxisProtocols("csma")}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.grid.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", tc.grid)
+			}
+		})
+	}
+	// Unknown JSON fields are rejected like ParseScenario.
+	if _, err := ParseGrid([]byte(`{"base":{"N":5},"axes":[{"over":"n","ns":[5]}],"axis":[]}`)); err == nil {
+		t.Fatal("ParseGrid accepted an unknown top-level field")
+	}
+	if _, err := ParseGrid([]byte(`{"base":{"N":5},"axes":[{"over":"n","ns":[5],"means":[1]}]}`)); err == nil {
+		t.Fatal("ParseGrid accepted an unknown axis field")
+	}
+}

@@ -57,38 +57,26 @@ func RunProgress(points []Point, workers int, onDone func(done, total int, o Out
 	return out
 }
 
+// The Over* combinators below are thin wrappers over the grid expansion in
+// grid.go (expandAxis): each builds the corresponding Axis and applies it.
+// Local sweeps and the serializable Grid spec expanded server-side by the
+// batch API therefore produce provably the same point set in the same
+// order — grid_test.go pins the equivalence.
+
 // OverN builds a sweep varying the station count.
 func OverN(base wrtring.Scenario, ns []int) []Point {
-	pts := make([]Point, 0, len(ns))
-	for _, n := range ns {
-		s := base
-		s.N = n
-		pts = append(pts, Point{Name: fmt.Sprintf("N=%d", n), Scenario: s})
-	}
-	return pts
+	return expandAxis([]Point{{Scenario: base}}, AxisN(ns))
 }
 
 // OverSeeds builds a sweep replicating one scenario across seeds —
 // the standard way to get confidence intervals out of the simulator.
 func OverSeeds(base wrtring.Scenario, seeds []uint64) []Point {
-	pts := make([]Point, 0, len(seeds))
-	for _, seed := range seeds {
-		s := base
-		s.Seed = seed
-		pts = append(pts, Point{Name: fmt.Sprintf("seed=%d", seed), Scenario: s})
-	}
-	return pts
+	return expandAxis([]Point{{Scenario: base}}, AxisSeeds(seeds))
 }
 
 // OverQuota builds a sweep varying the uniform (l, k) quota pair.
 func OverQuota(base wrtring.Scenario, lks [][2]int) []Point {
-	pts := make([]Point, 0, len(lks))
-	for _, lk := range lks {
-		s := base
-		s.L, s.K = lk[0], lk[1]
-		pts = append(pts, Point{Name: fmt.Sprintf("l=%d,k=%d", lk[0], lk[1]), Scenario: s})
-	}
-	return pts
+	return expandAxis([]Point{{Scenario: base}}, AxisQuota(lks))
 }
 
 // OverLoss builds a sweep varying the fault-injection loss rate. burstLen 0
@@ -97,38 +85,12 @@ func OverQuota(base wrtring.Scenario, lks [][2]int) []Point {
 // plan on the base scenario is copied, so crash/churn scripts combine with
 // the swept loss channel.
 func OverLoss(base wrtring.Scenario, means []float64, burstLen int64) []Point {
-	shape := "uniform"
-	if burstLen > 0 {
-		shape = fmt.Sprintf("burst=%d", burstLen)
-	}
-	pts := make([]Point, 0, len(means))
-	for _, mean := range means {
-		s := base
-		var f wrtring.FaultSpec
-		if base.Fault != nil {
-			f = *base.Fault
-		}
-		f.Loss = &wrtring.LossSpec{Mean: mean, BurstLen: burstLen}
-		s.Fault = &f
-		pts = append(pts, Point{
-			Name:     fmt.Sprintf("loss=%.2f%%/%s", mean*100, shape),
-			Scenario: s,
-		})
-	}
-	return pts
+	return expandAxis([]Point{{Scenario: base}}, AxisLoss(means, burstLen))
 }
 
 // OverProtocol duplicates every point for both protocols, name-prefixed.
 func OverProtocol(points []Point) []Point {
-	out := make([]Point, 0, 2*len(points))
-	for _, proto := range []wrtring.Protocol{wrtring.WRTRing, wrtring.TPT} {
-		for _, p := range points {
-			s := p.Scenario
-			s.Protocol = proto
-			out = append(out, Point{Name: proto.String() + "/" + p.Name, Scenario: s})
-		}
-	}
-	return out
+	return expandAxis(points, AxisProtocols())
 }
 
 // Summary aggregates replicated outcomes (e.g. from OverSeeds): mean and
