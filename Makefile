@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-grid bench-trajectory cover examples experiments serve cluster-smoke soak-smoke clean
+.PHONY: all build vet test test-race race check fuzz bench bench-baseline bench-check bench-grid bench-trajectory cover examples experiments serve cluster-smoke soak-smoke persist-smoke clean
 
 all: build vet test
 
@@ -90,6 +90,13 @@ cluster-smoke:
 # soak-summary.json (override with SOAK_SUMMARY=...).
 soak-smoke:
 	scripts/soak-smoke.sh
+
+# persist-smoke exercises the durable result store through the binaries:
+# a full-fleet restart must serve the resubmitted grid from the -store-dir
+# shards with zero new simulations, and a worker joining at runtime must be
+# handed its key range by the rebalancer (see README "Durable cache").
+persist-smoke:
+	scripts/persist-smoke.sh
 
 clean:
 	$(GO) clean ./...

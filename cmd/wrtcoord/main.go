@@ -9,6 +9,11 @@
 //
 //	wrtcoord -addr :8090 -worker a=http://host1:8080 -worker b=http://host2:8080
 //
+// Workers can join a running cluster: POST /v1/workers {"id","url"} rebuilds
+// the ring and the rebalancer (-rebalance) asks each new owner to pull its
+// key range from prior owners' durable stores, so cache affinity survives
+// membership changes.
+//
 //	curl -s localhost:8090/healthz
 //	curl -s -X POST localhost:8090/v1/runs -d '{"scenarios":[{"N":10,"Seed":1}]}'
 //	curl -s localhost:8090/metrics
@@ -65,6 +70,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logEntries := flag.Int("log-entries", 0, "access-log ring size for /debug/log (0 = default)")
 	maxBatchPoints := flag.Int64("max-batch-points", serve.DefaultMaxBatchPoints, "max points one /v1/batches grid may expand to")
+	rebalance := flag.Duration("rebalance", 5*time.Second, "shard-handoff planning interval after membership changes (0 = disabled)")
+	handoffBatch := flag.Int("handoff-batch", cluster.DefaultHandoffBatch, "max keys per pull request sent to one worker during rebalancing")
 	flag.Parse()
 
 	if len(workers) == 0 {
@@ -73,17 +80,19 @@ func main() {
 	}
 
 	coord, err := cluster.New(cluster.Config{
-		Workers:        workers,
-		MaxPerWorker:   *maxPerWorker,
-		MaxInflight:    *maxInflight,
-		Replicas:       *replicas,
-		PollInterval:   *poll,
-		HealthInterval: *health,
-		RequestTimeout: *reqTimeout,
-		HTTPTimeout:    *httpTimeout,
-		EnablePprof:    *pprofOn,
-		LogEntries:     *logEntries,
-		MaxBatchPoints: *maxBatchPoints,
+		Workers:           workers,
+		MaxPerWorker:      *maxPerWorker,
+		MaxInflight:       *maxInflight,
+		Replicas:          *replicas,
+		PollInterval:      *poll,
+		HealthInterval:    *health,
+		RequestTimeout:    *reqTimeout,
+		HTTPTimeout:       *httpTimeout,
+		EnablePprof:       *pprofOn,
+		LogEntries:        *logEntries,
+		MaxBatchPoints:    *maxBatchPoints,
+		RebalanceInterval: *rebalance,
+		HandoffBatch:      *handoffBatch,
 	})
 	if err != nil {
 		log.Fatalf("wrtcoord: %v", err)

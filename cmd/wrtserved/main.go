@@ -5,6 +5,14 @@
 // bytes exactly what a fresh run would produce).
 //
 //	wrtserved -addr :8080 -workers 8 -queue 512 -cache-entries 4096
+//	wrtserved -addr :8080 -store-dir /var/lib/wrtring/store   # durable cache
+//
+// With -store-dir the RAM cache gains a durable tier: every result is also
+// written to a content-addressed on-disk store (atomic rename, checksummed),
+// the shard is re-indexed on boot so a restarted worker serves its whole
+// cache history without re-simulating, and the /v1/store endpoints let
+// cluster peers pull keys during ring rebalancing (see cmd/wrtstore for
+// offline inspection of a shard directory).
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/runs -d '{"scenarios":[{"N":10,"Seed":1}]}'
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"github.com/rtnet/wrtring/internal/serve"
+	"github.com/rtnet/wrtring/internal/store"
 )
 
 func main() {
@@ -35,6 +44,10 @@ func main() {
 	queueCap := flag.Int("queue", 256, "max queued jobs (admission bound)")
 	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries, "max cached results")
 	cacheBytes := flag.Int64("cache-bytes", 0, "max cached result bytes (0 = entries bound only)")
+	storeDir := flag.String("store-dir", "", "durable result-store directory; results are written through and warm-start on boot (empty = RAM cache only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "max bytes on disk in -store-dir before LRU eviction (0 = unbounded)")
+	storeNoSync := flag.Bool("store-no-sync", false, "skip fsync on store writes (faster; a crash may quarantine the last results)")
+	handoffRate := flag.Int("handoff-rate", serve.DefaultHandoffRate, "max keys per second pulled from peers during shard handoff")
 	maxBatch := flag.Int("max-batch", 256, "max scenarios per submission")
 	maxBatchPoints := flag.Int64("max-batch-points", serve.DefaultMaxBatchPoints, "max points one /v1/batches grid may expand to")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
@@ -44,9 +57,22 @@ func main() {
 	logEntries := flag.Int("log-entries", 0, "access-log ring size for /debug/log (0 = default)")
 	flag.Parse()
 
+	var disk *store.Store
+	if *storeDir != "" {
+		var err error
+		disk, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes, NoSync: *storeNoSync})
+		if err != nil {
+			log.Fatalf("wrtserved: opening store %s: %v", *storeDir, err)
+		}
+		st := disk.Stats()
+		log.Printf("wrtserved: store %s: %d results (%d bytes) warm, %d quarantined",
+			*storeDir, st.Entries, st.Bytes, disk.QuarantineCount())
+	}
+
 	srv := serve.New(serve.Config{
 		Workers: *workers, QueueCapacity: *queueCap,
 		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
+		Store: disk, HandoffRate: *handoffRate,
 		MaxBatch: *maxBatch, MaxBatchPoints: *maxBatchPoints, WorkerID: *workerID,
 		RequestTimeout: *httpTimeout, EnablePprof: *pprofOn, LogEntries: *logEntries,
 	})

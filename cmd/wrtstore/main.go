@@ -1,0 +1,138 @@
+// Command wrtstore inspects and maintains a wrtserved durable result store
+// (-store-dir) offline — the operator's view of the shard a daemon serves.
+//
+//	wrtstore ls     -dir /var/lib/wrtring/store           # keys, sizes, access times
+//	wrtstore stat   -dir /var/lib/wrtring/store           # entry/byte/quarantine totals
+//	wrtstore verify -dir /var/lib/wrtring/store           # full-shard checksum fsck
+//	wrtstore gc     -dir /var/lib/wrtring/store -max-bytes 1073741824
+//
+// verify re-reads every entry and checks its footer (payload length and
+// SHA-256); with -quarantine the corrupt files are moved aside exactly as
+// the daemon would on read. It exits 1 when corruption is found, so it works
+// as a cron health check. gc applies the same LRU-by-access policy the
+// daemon uses for -store-max-bytes, but on demand.
+//
+// Run it against a live daemon's directory only for ls/stat/verify without
+// -quarantine; gc and -quarantine move files the daemon may be serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/rtnet/wrtring/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: wrtstore <command> -dir <store-dir> [flags]
+
+commands:
+  ls       list stored results (key, payload bytes, last access)
+  stat     shard totals: entries, bytes, quarantined files
+  verify   checksum every entry; exit 1 on corruption (-quarantine to move bad files aside)
+  gc       evict least-recently-used entries down to -max-bytes
+
+`)
+	os.Exit(2)
+}
+
+func openStore(fs *flag.FlagSet, dir string) *store.Store {
+	if dir == "" {
+		fmt.Fprintf(os.Stderr, "wrtstore %s: -dir is required\n", fs.Name())
+		os.Exit(2)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		// Open would create the directory; an inspection tool should not.
+		fmt.Fprintf(os.Stderr, "wrtstore %s: %v\n", fs.Name(), err)
+		os.Exit(1)
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wrtstore %s: opening %s: %v\n", fs.Name(), dir, err)
+		os.Exit(1)
+	}
+	return st
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "ls":
+		fs := flag.NewFlagSet("ls", flag.ExitOnError)
+		dir := fs.String("dir", "", "store directory")
+		byAge := fs.Bool("by-age", false, "sort by last access (eviction order) instead of key")
+		fs.Parse(args)
+		st := openStore(fs, *dir)
+		idx := st.Index()
+		if *byAge {
+			sort.Slice(idx, func(a, b int) bool { return idx[a].ModTime.Before(idx[b].ModTime) })
+		}
+		for _, k := range idx {
+			fmt.Printf("%s\t%d\t%s\n", k.Key, k.Size, k.ModTime.Format("2006-01-02T15:04:05Z07:00"))
+		}
+
+	case "stat":
+		fs := flag.NewFlagSet("stat", flag.ExitOnError)
+		dir := fs.String("dir", "", "store directory")
+		fs.Parse(args)
+		st := openStore(fs, *dir)
+		s := st.Stats()
+		fmt.Printf("dir:         %s\n", st.Dir())
+		fmt.Printf("entries:     %d\n", s.Entries)
+		fmt.Printf("bytes:       %d\n", s.Bytes)
+		fmt.Printf("quarantined: %d\n", st.QuarantineCount())
+
+	case "verify":
+		fs := flag.NewFlagSet("verify", flag.ExitOnError)
+		dir := fs.String("dir", "", "store directory")
+		quarantine := fs.Bool("quarantine", false, "move corrupt entries to the quarantine directory")
+		fs.Parse(args)
+		st := openStore(fs, *dir)
+		// Open itself quarantines structurally broken files (bad footer,
+		// leftover temp files); VerifyAll re-reads the survivors and checks
+		// the payload hash — the full fsck.
+		preQuarantined := st.QuarantineCount()
+		total := st.Len()
+		bad := st.VerifyAll(*quarantine)
+		fmt.Printf("verified %d entries (%d bytes)\n", total, st.Stats().Bytes)
+		if preQuarantined > 0 {
+			fmt.Printf("%d previously quarantined files in %s\n", preQuarantined, st.Dir())
+		}
+		if len(bad) > 0 {
+			for _, key := range bad {
+				fmt.Fprintf(os.Stderr, "corrupt: %s\n", key)
+			}
+			action := "left in place (re-run with -quarantine to move them aside)"
+			if *quarantine {
+				action = "quarantined"
+			}
+			fmt.Fprintf(os.Stderr, "wrtstore verify: %d corrupt entries %s\n", len(bad), action)
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+
+	case "gc":
+		fs := flag.NewFlagSet("gc", flag.ExitOnError)
+		dir := fs.String("dir", "", "store directory")
+		maxBytes := fs.Int64("max-bytes", 0, "evict least-recently-used entries until the shard fits this many bytes")
+		fs.Parse(args)
+		if *maxBytes <= 0 {
+			fmt.Fprintln(os.Stderr, "wrtstore gc: -max-bytes must be > 0")
+			os.Exit(2)
+		}
+		st := openStore(fs, *dir)
+		evicted, freed := st.EvictTo(*maxBytes)
+		after := st.Stats()
+		fmt.Printf("evicted %d entries (%d bytes); %d entries (%d bytes) remain\n",
+			evicted, freed, after.Entries, after.Bytes)
+
+	default:
+		fmt.Fprintf(os.Stderr, "wrtstore: unknown command %q\n\n", cmd)
+		usage()
+	}
+}

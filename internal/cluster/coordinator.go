@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	wrtring "github.com/rtnet/wrtring"
@@ -72,6 +73,13 @@ type Config struct {
 	// FinishedRecords bounds retained terminal job records
 	// (<= 0: serve.DefaultFinishedRecords).
 	FinishedRecords int
+	// RebalanceInterval paces shard-handoff planning sweeps (see
+	// rebalance.go). <= 0 disables rebalancing entirely; membership changes
+	// still work, but results stay where they were computed.
+	RebalanceInterval time.Duration
+	// HandoffBatch caps keys per pull request a sweep sends to one owner
+	// (<= 0: DefaultHandoffBatch).
+	HandoffBatch int
 	// Logf receives operational events (ejections, readmissions,
 	// redispatches); nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -109,18 +117,24 @@ type clusterJob struct {
 // cache-affine consistent-hash dispatch and redispatch-on-death failover.
 type Coordinator struct {
 	cfg     Config
-	ring    *Ring
-	workers map[string]*worker
-	order   []*worker // config order, for stable metrics/iteration
 	surface *httpx.Surface
 	batches *serve.Batches
 	logf    func(format string, args ...any)
+	chanCap int
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// rebalanceCh wakes the handoff planner early (AddWorker, readmission);
+	// nil when RebalanceInterval <= 0.
+	rebalanceCh                   chan struct{}
+	rebSweeps, rebKeys, rebErrors atomic.Int64
+
 	mu            sync.Mutex
+	ring          *Ring
+	workers       map[string]*worker
+	order         []*worker // admission order, for stable metrics/iteration
 	draining      bool
 	jobs          map[string]*clusterJob
 	finishedOrder []string
@@ -144,8 +158,10 @@ type ClusterStats struct {
 	// RemoteCacheHits counts dispatches a worker answered from its shard of
 	// the cluster cache without running anything.
 	RemoteCacheHits int64
-	LiveWorkers     int
-	Draining        bool
+	// Workers is the current fleet size (AddWorker grows it at runtime).
+	Workers     int
+	LiveWorkers int
+	Draining    bool
 }
 
 // New builds a coordinator over the fleet and starts its dispatchers and
@@ -187,6 +203,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.FinishedRecords <= 0 {
 		cfg.FinishedRecords = serve.DefaultFinishedRecords
 	}
+	if cfg.HandoffBatch <= 0 {
+		cfg.HandoffBatch = DefaultHandoffBatch
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -212,8 +231,10 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	// A job channel can hold at most every outstanding job in the cluster
 	// (redispatch conserves the total, admission bounds it), so this cap
-	// makes every enqueue non-blocking by construction.
-	chanCap := len(cfg.Workers)*cfg.MaxPerWorker + 16
+	// makes every enqueue non-blocking by construction. AddWorker grows the
+	// cluster-wide bound without resizing existing channels; the enqueue
+	// failure path covers that (now merely theoretical) overflow.
+	c.chanCap = len(cfg.Workers)*cfg.MaxPerWorker + 16
 	for _, spec := range cfg.Workers {
 		if spec.ID == "" || spec.URL == "" {
 			cancel()
@@ -223,7 +244,7 @@ func New(cfg Config) (*Coordinator, error) {
 			cancel()
 			return nil, fmt.Errorf("cluster: duplicate worker ID %q", spec.ID)
 		}
-		w := newWorker(spec, chanCap, cfg.RequestTimeout)
+		w := newWorker(spec, c.chanCap, cfg.RequestTimeout)
 		c.workers[spec.ID] = w
 		c.order = append(c.order, w)
 		ids = append(ids, spec.ID)
@@ -234,6 +255,8 @@ func New(cfg Config) (*Coordinator, error) {
 	mux := c.surface.Mux()
 	mux.HandleFunc("POST /v1/runs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkersList)
+	mux.HandleFunc("POST /v1/workers", c.handleWorkerAdd)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	serve.MountBatchAPI(c.surface, c.batches, cfg.RetryAfter)
@@ -246,7 +269,62 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.wg.Add(1)
 	go c.healthLoop()
+	if cfg.RebalanceInterval > 0 {
+		c.rebalanceCh = make(chan struct{}, 1)
+		c.wg.Add(1)
+		go c.rebalanceLoop()
+	}
 	return c, nil
+}
+
+// AddWorker admits a new worker to a running cluster: the hash ring is
+// rebuilt with the grown membership (shrinking every existing worker's key
+// range a little), dispatchers start, and the rebalancer is woken so the new
+// owner pulls the keys it now owns from their prior holders. Until those
+// pulls land, misplaced keys simply recompute on the new owner — correctness
+// never depends on the handoff, only cache efficiency does.
+func (c *Coordinator) AddWorker(spec WorkerSpec) error {
+	if spec.ID == "" || spec.URL == "" {
+		return fmt.Errorf("cluster: worker spec %+v needs both ID and URL", spec)
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return ErrDraining
+	}
+	if _, dup := c.workers[spec.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: duplicate worker ID %q", spec.ID)
+	}
+	w := newWorker(spec, c.chanCap, c.cfg.RequestTimeout)
+	c.workers[spec.ID] = w
+	c.order = append(c.order, w)
+	ids := make([]string, 0, len(c.order))
+	for _, ww := range c.order {
+		ids = append(ids, ww.id)
+	}
+	c.ring = NewRing(ids, c.cfg.Replicas)
+	// wg.Add under mu, after the draining check: Drain sets draining before
+	// it cancels and waits, so a racing AddWorker either starts these
+	// goroutines before the Wait or is refused above.
+	for i := 0; i < c.cfg.MaxInflight; i++ {
+		c.wg.Add(1)
+		go c.runWorker(w)
+	}
+	members := len(ids)
+	c.mu.Unlock()
+
+	c.logf("cluster: added worker %s (%s); ring rebuilt over %d members", spec.ID, spec.URL, members)
+	c.wakeRebalancer()
+	return nil
+}
+
+// fleet snapshots the worker list under mu, for iteration without holding
+// the lock across network calls.
+func (c *Coordinator) fleet() []*worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*worker(nil), c.order...)
 }
 
 // Handler returns the composed HTTP stack (also usable under httptest).
@@ -348,7 +426,7 @@ func (c *Coordinator) Stats() ClusterStats {
 		Admitted: c.admitted, Completed: c.completed, Failed: c.failed,
 		Dropped: c.dropped, Rejected: c.rejected, Coalesced: c.coalesced,
 		Redispatched: c.redispatched, RemoteCacheHits: c.remoteCacheHits,
-		Draining: c.draining,
+		Workers: len(c.order), Draining: c.draining,
 	}
 	for _, w := range c.order {
 		if w.isAlive() {

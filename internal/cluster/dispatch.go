@@ -282,7 +282,7 @@ func (c *Coordinator) healthLoop() {
 		case <-ticker.C:
 		}
 		now := time.Now()
-		for _, w := range c.order {
+		for _, w := range c.fleet() {
 			if !w.isAlive() && !w.probeDue(now) {
 				continue
 			}
@@ -296,6 +296,10 @@ func (c *Coordinator) healthLoop() {
 			case err == nil && !w.isAlive():
 				if w.readmit() {
 					c.logf("cluster: readmitting worker %s", w.id)
+					// Readmission changes ring ownership back: wake the
+					// rebalancer so keys computed elsewhere during the outage
+					// come home, and the returnee's disk shard serves again.
+					c.wakeRebalancer()
 				}
 			case err != nil && w.isAlive():
 				c.ejectWorker(w, "health probe failed: %v", err)

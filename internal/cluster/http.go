@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
@@ -76,7 +78,9 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 // identical bytes — not a panic. Shared by handleStatus and the batch
 // backend's JobResult.
 func (c *Coordinator) fetchResult(ctx context.Context, id, workerID string) (*serve.StatusResponse, error) {
+	c.mu.Lock()
 	worker, ok := c.workers[workerID]
+	c.mu.Unlock()
 	if !ok || worker == nil {
 		return nil, fmt.Errorf(
 			"result unavailable from worker %q (unknown or removed); resubmit the scenario to recompute", workerID)
@@ -93,7 +97,57 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := c.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
-	fmt.Fprintf(w, "coordinator: %d/%d workers live\n", st.LiveWorkers, len(c.order))
+	fmt.Fprintf(w, "coordinator: %d/%d workers live\n", st.LiveWorkers, st.Workers)
+}
+
+// WorkerInfo is one fleet member in the GET /v1/workers body.
+type WorkerInfo struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+// WorkersResponse is the GET /v1/workers body.
+type WorkersResponse struct {
+	Workers []WorkerInfo `json:"workers"`
+}
+
+func (c *Coordinator) handleWorkersList(w http.ResponseWriter, _ *http.Request) {
+	fleet := c.fleet()
+	out := WorkersResponse{Workers: make([]WorkerInfo, 0, len(fleet))}
+	for _, ww := range fleet {
+		out.Workers = append(out.Workers, WorkerInfo{ID: ww.id, URL: ww.url, Alive: ww.isAlive()})
+	}
+	httpx.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleWorkerAdd admits a worker to the running cluster: POST /v1/workers
+// with a WorkerSpec body. The ring is rebuilt and the rebalancer woken, so
+// the new member starts pulling its key range immediately (rebalance.go).
+func (c *Coordinator) handleWorkerAdd(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := dec.Decode(&spec); err != nil {
+		httpx.Error(w, r, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if u, err := url.Parse(spec.URL); err != nil || u.Scheme == "" || u.Host == "" {
+		httpx.Error(w, r, http.StatusBadRequest, "url must be an absolute base URL")
+		return
+	}
+	if err := c.AddWorker(WorkerSpec{ID: spec.ID, URL: spec.URL}); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		httpx.Error(w, r, status, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, WorkerInfo{ID: spec.ID, URL: spec.URL, Alive: true})
 }
 
 // handleMetrics exposes the cluster counters plus a per-worker section. The
@@ -102,8 +156,9 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // simply absent from that section, flagged by its up gauge.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := c.Stats()
+	fleet := c.fleet()
 	var m httpx.Metrics
-	m.Metric("wrtcoord_workers", len(c.order), "configured workers")
+	m.Metric("wrtcoord_workers", st.Workers, "fleet members (config plus runtime additions)")
 	m.Metric("wrtcoord_workers_live", st.LiveWorkers, "workers currently passing health checks")
 	m.Metric("wrtcoord_draining", httpx.BoolMetric(st.Draining), "1 while graceful shutdown is in progress")
 	m.Metric("wrtcoord_admitted_total", st.Admitted, "jobs admitted by the coordinator")
@@ -118,9 +173,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Metric("wrtcoord_batches_created_total", bsStats.Created, "batches accepted by POST /v1/batches")
 	m.Metric("wrtcoord_batches_active", bsStats.Active, "retained batches still running")
 
-	scrapes := c.scrapeWorkers(r.Context())
+	scrapes := c.scrapeWorkers(r.Context(), fleet)
 	var hits, misses, evictions, fleetAdmitted, fleetCompleted int64
-	for _, w := range c.order {
+	var storeHits, handoffPulled int64
+	for _, w := range fleet {
 		label := fmt.Sprintf("id=%q", w.id)
 		m.Help("wrtcoord_worker_up", "1 while the worker passes health checks")
 		m.Labeled("wrtcoord_worker_up", label, httpx.BoolMetric(w.isAlive()))
@@ -135,10 +191,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		evictions += ws.Cache.Evictions
 		fleetAdmitted += ws.Queue.Admitted
 		fleetCompleted += ws.Queue.Completed
+		storeHits += ws.Cache.DiskHits
+		handoffPulled += ws.Handoff.Pulled
 		m.Labeled("wrtcoord_worker_queue_depth", label, ws.Queue.Depth)
 		m.Labeled("wrtcoord_worker_cache_entries", label, ws.Cache.Entries)
 		m.Labeled("wrtcoord_worker_cache_hits_total", label, ws.Cache.Hits)
 		m.Labeled("wrtcoord_worker_cache_bytes", label, ws.Cache.Bytes)
+		m.Labeled("wrtcoord_worker_store_hits_total", label, ws.Cache.DiskHits)
+		m.Labeled("wrtcoord_worker_handoff_pulled_total", label, ws.Handoff.Pulled)
+		if ws.Store != nil {
+			m.Labeled("wrtcoord_worker_store_entries", label, ws.Store.Entries)
+			m.Labeled("wrtcoord_worker_store_bytes", label, ws.Store.Bytes)
+		}
 	}
 	m.Metric("wrtcoord_fleet_cache_hits_total", hits, "cache hits summed over answering workers")
 	m.Metric("wrtcoord_fleet_cache_misses_total", misses, "cache misses summed over answering workers")
@@ -150,9 +214,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Metric("wrtcoord_fleet_cache_hit_ratio", fmt.Sprintf("%.6f", ratio), "fleet-wide hits / (hits + misses)")
 	m.Metric("wrtcoord_fleet_admitted_total", fleetAdmitted, "worker-side admissions summed over answering workers")
 	m.Metric("wrtcoord_fleet_completed_total", fleetCompleted, "worker-side completions summed over answering workers")
+	m.Metric("wrtcoord_fleet_store_hits_total", storeHits, "durable-tier cache hits summed over answering workers")
+	m.Metric("wrtcoord_fleet_handoff_pulled_total", handoffPulled, "shard-handoff keys pulled, summed over answering workers")
+	rb := c.RebalanceStats()
+	m.Metric("wrtcoord_rebalance_sweeps_total", rb.Sweeps, "completed shard-handoff planning sweeps")
+	m.Metric("wrtcoord_rebalance_keys_total", rb.KeysRequested, "keys the rebalancer asked owners to pull")
+	m.Metric("wrtcoord_rebalance_errors_total", rb.Errors, "failed index fetches and rejected pull requests")
 
 	c.mu.Lock()
-	for _, w := range c.order {
+	for _, w := range fleet {
 		h, ok := c.latency[w.id]
 		if !ok {
 			continue
@@ -171,7 +241,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // scrapeWorkers fetches /v1/stats from every live worker concurrently.
-func (c *Coordinator) scrapeWorkers(ctx context.Context) map[string]*serve.ServiceStats {
+func (c *Coordinator) scrapeWorkers(ctx context.Context, fleet []*worker) map[string]*serve.ServiceStats {
 	deadline := c.cfg.RequestTimeout
 	if deadline > 2*time.Second {
 		deadline = 2 * time.Second
@@ -180,9 +250,9 @@ func (c *Coordinator) scrapeWorkers(ctx context.Context) map[string]*serve.Servi
 	defer cancel()
 
 	var mu sync.Mutex
-	out := make(map[string]*serve.ServiceStats, len(c.order))
+	out := make(map[string]*serve.ServiceStats, len(fleet))
 	var wg sync.WaitGroup
-	for _, w := range c.order {
+	for _, w := range fleet {
 		if !w.isAlive() {
 			continue
 		}

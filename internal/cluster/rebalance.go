@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/rtnet/wrtring/internal/serve"
+)
+
+// This file is the control plane of shard handoff. The data plane lives in
+// the workers (GET /v1/store, GET /v1/store/{id}, POST /v1/store/pull —
+// internal/serve/storehttp.go); the coordinator only plans: each sweep it
+// fetches every live worker's key index, diffs it against current hash-ring
+// ownership, and asks each owner to pull the keys it should hold but does
+// not from a worker that has them. The pulls themselves run in the workers'
+// background pullers, rate-limited, so a rebalance never stampedes the
+// fleet's disks.
+//
+// Sweeps run on a timer and are woken early by the two events that change
+// ownership: AddWorker (ring rebuild) and a readmission (the liveness
+// predicate reinstates the worker's ring points). Because results are
+// immutable and the puller skips keys already present, a sweep is idempotent
+// — re-planning the same transfer twice costs an index fetch and a skip.
+
+// DefaultHandoffBatch caps keys per pull request the rebalancer sends; a
+// bigger shard hands off across several requests and sweeps.
+const DefaultHandoffBatch = 128
+
+// RebalanceStats counts the planner's work (the workers' HandoffStats count
+// the data plane).
+type RebalanceStats struct {
+	// Sweeps counts completed rebalance passes over the fleet.
+	Sweeps int64
+	// KeysRequested counts keys the planner asked owners to pull.
+	KeysRequested int64
+	// Errors counts failed index fetches and rejected pull requests.
+	Errors int64
+}
+
+// wakeRebalancer nudges the sweep loop without waiting for the ticker; a
+// sweep already pending absorbs the wake (the channel holds one signal).
+func (c *Coordinator) wakeRebalancer() {
+	if c.rebalanceCh == nil {
+		return
+	}
+	select {
+	case c.rebalanceCh <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Coordinator) rebalanceLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.RebalanceInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-ticker.C:
+		case <-c.rebalanceCh:
+		}
+		c.rebalanceSweep()
+	}
+}
+
+// rebalanceSweep plans and requests one round of shard handoff.
+func (c *Coordinator) rebalanceSweep() {
+	c.mu.Lock()
+	ring := c.ring
+	live := make([]*worker, 0, len(c.order))
+	for _, w := range c.order {
+		if w.isAlive() {
+			live = append(live, w)
+		}
+	}
+	c.mu.Unlock()
+	if len(live) < 2 {
+		return // nothing to hand off to or from
+	}
+
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.RequestTimeout)
+	defer cancel()
+
+	// Fetch every live worker's key index concurrently.
+	alive := make(map[string]bool, len(live))
+	byID := make(map[string]*worker, len(live))
+	held := make(map[string]map[string]serve.StoreKey, len(live))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range live {
+		alive[w.id] = true
+		byID[w.id] = w
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			idx, err := w.client.StoreIndex(ctx)
+			if err != nil {
+				c.rebErrors.Add(1)
+				return
+			}
+			keys := make(map[string]serve.StoreKey, len(idx.Keys))
+			for _, k := range idx.Keys {
+				keys[k.ID] = k
+			}
+			mu.Lock()
+			held[w.id] = keys
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if c.ctx.Err() != nil {
+		return
+	}
+
+	// Diff holdings against ring ownership. Each misplaced key is planned
+	// once (first holder wins — results are immutable, so any copy is the
+	// copy), grouped by owner and source.
+	isAlive := func(id string) bool { return alive[id] }
+	planned := make(map[string]bool)
+	plan := make(map[string]map[string][]serve.StoreKey) // ownerID -> fromURL -> keys
+	for holderID, keys := range held {
+		for id, k := range keys {
+			if planned[id] {
+				continue
+			}
+			ownerID, ok := ring.Owner(id, isAlive)
+			if !ok || ownerID == holderID {
+				continue
+			}
+			if _, has := held[ownerID][id]; has {
+				continue
+			}
+			planned[id] = true
+			from := byID[holderID].url
+			if plan[ownerID] == nil {
+				plan[ownerID] = make(map[string][]serve.StoreKey)
+			}
+			plan[ownerID][from] = append(plan[ownerID][from], k)
+		}
+	}
+
+	// Request the pulls, chunked so one request never exceeds HandoffBatch
+	// keys. A 429 (owner's pull queue full) is left for the next sweep.
+	batch := c.cfg.HandoffBatch
+	for ownerID, sources := range plan {
+		owner := byID[ownerID]
+		for from, keys := range sources {
+			for start := 0; start < len(keys); start += batch {
+				end := min(start+batch, len(keys))
+				chunk := keys[start:end]
+				if _, err := owner.client.StorePull(ctx, serve.StorePullRequest{From: from, Keys: chunk}); err != nil {
+					c.rebErrors.Add(1)
+					continue
+				}
+				c.rebKeys.Add(int64(len(chunk)))
+				c.logf("cluster: rebalance: %s pulling %d keys from %s", ownerID, len(chunk), from)
+			}
+		}
+	}
+	c.rebSweeps.Add(1)
+}
+
+// RebalanceStats snapshots the planner counters.
+func (c *Coordinator) RebalanceStats() RebalanceStats {
+	return RebalanceStats{
+		Sweeps:        c.rebSweeps.Load(),
+		KeysRequested: c.rebKeys.Load(),
+		Errors:        c.rebErrors.Load(),
+	}
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/serve"
+	"github.com/rtnet/wrtring/internal/store"
+)
+
+// restartableWorker is a wrtserved instance whose process lifetime and shard
+// directory are decoupled, like a real daemon: restart() drains the current
+// server and boots a fresh one over the same -store-dir, behind the same
+// URL. The handler indirection is atomic so in-flight coordinator requests
+// race safely with the swap.
+type restartableWorker struct {
+	id, dir string
+	handler atomic.Value // http.Handler
+	srv     *serve.Server
+	ts      *httptest.Server
+}
+
+func newRestartableWorker(t *testing.T, id string) *restartableWorker {
+	t.Helper()
+	rw := &restartableWorker{id: id, dir: t.TempDir()}
+	rw.boot(t)
+	rw.ts = httptest.NewServer(rw)
+	t.Cleanup(func() {
+		rw.ts.Close()
+		rw.srv.Drain(time.Minute)
+	})
+	return rw
+}
+
+func (rw *restartableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw.handler.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+func (rw *restartableWorker) boot(t *testing.T) {
+	t.Helper()
+	st, err := store.Open(rw.dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.srv = serve.New(serve.Config{Workers: 2, QueueCapacity: 64, WorkerID: rw.id, Store: st})
+	rw.handler.Store(rw.srv.Handler())
+}
+
+func (rw *restartableWorker) restart(t *testing.T) {
+	t.Helper()
+	rw.srv.Drain(time.Minute)
+	rw.boot(t)
+}
+
+// storeGrid is a deterministic batch whose content addresses — and therefore
+// ring placement — are fixed, so ownership assertions cannot flake.
+func storeGrid(n int) []wrtring.Scenario {
+	grid := make([]wrtring.Scenario, n)
+	for i := range grid {
+		grid[i] = fastScenario(uint64(100 + i))
+	}
+	return grid
+}
+
+// TestClusterWarmWorkerRestart is the first pinned E2E scenario: a worker
+// restarts with its shard directory intact, and the keys it owns are served
+// from disk — zero new simulations, byte-identical bytes.
+func TestClusterWarmWorkerRestart(t *testing.T) {
+	w1 := newRestartableWorker(t, "w1")
+	w2 := newRestartableWorker(t, "w2")
+	coord, err := New(Config{
+		Workers:      []WorkerSpec{{ID: "w1", URL: w1.ts.URL}, {ID: "w2", URL: w2.ts.URL}},
+		PollInterval: 2 * time.Millisecond, HealthInterval: 20 * time.Millisecond,
+		RequestTimeout: 5 * time.Second, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+	defer coord.Drain(time.Minute)
+	client := serve.NewClient(front.URL)
+
+	grid := storeGrid(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	code, resp, err := client.SubmitScenarios(ctx, grid)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d, %v", code, err)
+	}
+	want := make(map[string][]byte, len(grid))
+	for _, run := range resp.Runs {
+		st, err := client.Wait(ctx, run.ID, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[run.ID] = st.Result
+	}
+
+	// Partition the grid by ring ownership (deterministic: same IDs, same
+	// vnode count as the coordinator's ring).
+	ring := NewRing([]string{"w1", "w2"}, 0)
+	var w1Owned []wrtring.Scenario
+	for _, s := range grid {
+		id, err := serve.Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := ring.Owner(id, nil); owner == "w1" {
+			w1Owned = append(w1Owned, s)
+		}
+	}
+	if len(w1Owned) == 0 {
+		t.Fatal("grid left w1's shard empty; grow the grid")
+	}
+
+	// Restart w1: fresh process state, same shard directory, same URL.
+	w1.restart(t)
+
+	// The restarted worker re-serves its whole shard from disk: the owned
+	// subset resubmitted directly to it is admitted as cached, runs nothing,
+	// and returns byte-identical results.
+	w1Client := serve.NewClient(w1.ts.URL)
+	code, resp, err = w1Client.SubmitScenarios(ctx, w1Owned)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("resubmit to restarted worker: HTTP %d, %v", code, err)
+	}
+	for i, run := range resp.Runs {
+		if run.Status != serve.SubmitCached {
+			t.Fatalf("restarted worker run %d: status %q, want cached", i, run.Status)
+		}
+		st, err := w1Client.Wait(ctx, run.ID, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(st.Result, want[run.ID]) {
+			t.Fatalf("key %s: restarted worker serves different bytes", run.ID)
+		}
+	}
+	if qs := w1.srv.Queue().Stats(); qs.Admitted != 0 {
+		t.Fatalf("restarted worker simulated %d jobs for a warm shard", qs.Admitted)
+	}
+	if cs := w1.srv.Cache().Stats(); cs.DiskHits == 0 {
+		t.Fatalf("restarted worker served nothing from disk: %+v", cs)
+	}
+
+	// The whole fleet still answers the full grid through the coordinator,
+	// byte-identically, with no new simulations anywhere.
+	before := w1.srv.Queue().Stats().Admitted + w2.srv.Queue().Stats().Admitted
+	for id, body := range want {
+		st, err := client.Wait(ctx, id, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(st.Result, body) {
+			t.Fatalf("key %s: coordinator serves different bytes after restart", id)
+		}
+	}
+	after := w1.srv.Queue().Stats().Admitted + w2.srv.Queue().Stats().Admitted
+	if after != before {
+		t.Fatalf("post-restart reads ran %d new simulations", after-before)
+	}
+}
+
+// TestClusterAddWorkerHandoff is the second pinned E2E scenario: a worker
+// joins a running cluster, the ring is rebuilt, and the rebalancer hands the
+// new owner its key range — which it then serves from its own store, without
+// recomputing anything.
+func TestClusterAddWorkerHandoff(t *testing.T) {
+	w1 := newRestartableWorker(t, "w1")
+	w2 := newRestartableWorker(t, "w2")
+	coord, err := New(Config{
+		Workers:      []WorkerSpec{{ID: "w1", URL: w1.ts.URL}, {ID: "w2", URL: w2.ts.URL}},
+		PollInterval: 2 * time.Millisecond, HealthInterval: 20 * time.Millisecond,
+		RequestTimeout: 5 * time.Second, RebalanceInterval: 25 * time.Millisecond,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+	defer coord.Drain(time.Minute)
+	client := serve.NewClient(front.URL)
+
+	grid := storeGrid(12)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	code, resp, err := client.SubmitScenarios(ctx, grid)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d, %v", code, err)
+	}
+	want := make(map[string][]byte, len(grid))
+	for _, run := range resp.Runs {
+		st, err := client.Wait(ctx, run.ID, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[run.ID] = st.Result
+	}
+
+	// Admit w3 over the control API.
+	w3 := newRestartableWorker(t, "w3")
+	hr, err := http.Post(front.URL+"/v1/workers", "application/json",
+		strings.NewReader(`{"id": "w3", "url": "`+w3.ts.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusCreated {
+		t.Fatalf("add worker: HTTP %d", hr.StatusCode)
+	}
+	// A duplicate add is refused.
+	hr, err = http.Post(front.URL+"/v1/workers", "application/json",
+		strings.NewReader(`{"id": "w3", "url": "`+w3.ts.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate add: HTTP %d", hr.StatusCode)
+	}
+
+	// The keys w3 now owns (deterministic given the fixed grid and IDs).
+	ring := NewRing([]string{"w1", "w2", "w3"}, 0)
+	w3Owned := map[string]bool{}
+	for id := range want {
+		if owner, _ := ring.Owner(id, nil); owner == "w3" {
+			w3Owned[id] = true
+		}
+	}
+	if len(w3Owned) == 0 {
+		t.Fatal("ring gave w3 no keys from the grid; grow the grid")
+	}
+
+	// The rebalancer hands them off in the background.
+	w3Client := serve.NewClient(w3.ts.URL)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		idx, err := w3Client.StoreIndex(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, k := range idx.Keys {
+			if w3Owned[k.ID] {
+				got++
+			}
+		}
+		if got == len(w3Owned) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff stalled: w3 holds %d/%d owned keys (handoff %+v, rebalance %+v)",
+				got, len(w3Owned), w3.srv.Cache().Stats(), coord.RebalanceStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if qs := w3.srv.Queue().Stats(); qs.Admitted != 0 {
+		t.Fatalf("handoff recomputed %d jobs on w3", qs.Admitted)
+	}
+	if rb := coord.RebalanceStats(); rb.KeysRequested < int64(len(w3Owned)) {
+		t.Fatalf("rebalance requested %d keys, want >= %d", rb.KeysRequested, len(w3Owned))
+	}
+
+	// The transferred shard survives a restart and is served as disk hits:
+	// exactly the warm-start property, now for keys w3 never computed.
+	w3.restart(t)
+	var owned []wrtring.Scenario
+	for _, s := range grid {
+		id, err := serve.Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w3Owned[id] {
+			owned = append(owned, s)
+		}
+	}
+	code, resp, err = w3Client.SubmitScenarios(ctx, owned)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("resubmit to w3: HTTP %d, %v", code, err)
+	}
+	for i, run := range resp.Runs {
+		if run.Status != serve.SubmitCached {
+			t.Fatalf("w3 run %d: status %q, want cached (handed-off key missing from disk)", i, run.Status)
+		}
+		st, err := w3Client.Wait(ctx, run.ID, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(st.Result, want[run.ID]) {
+			t.Fatalf("key %s: w3 serves different bytes than the original owner", run.ID)
+		}
+	}
+	if cs := w3.srv.Cache().Stats(); cs.DiskHits < int64(len(w3Owned)) {
+		t.Fatalf("w3 disk hits %d, want >= %d", cs.DiskHits, len(w3Owned))
+	}
+	if qs := w3.srv.Queue().Stats(); qs.Admitted != 0 {
+		t.Fatalf("w3 simulated %d jobs for transferred keys", qs.Admitted)
+	}
+}

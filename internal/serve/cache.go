@@ -2,7 +2,10 @@ package serve
 
 import (
 	"container/list"
+	"sort"
 	"sync"
+
+	"github.com/rtnet/wrtring/internal/store"
 )
 
 // Cache is a thread-safe LRU map from scenario content address to encoded
@@ -10,6 +13,12 @@ import (
 // snapshots — there is no TTL and no invalidation, only capacity eviction.
 // Both an entry bound and a byte bound apply; whichever trips first evicts
 // from the cold end.
+//
+// With a durable store attached (AttachStore), the RAM tier becomes the hot
+// layer of a two-level cache: Put writes through to disk, Get falls through
+// RAM → disk (repopulating RAM on a disk hit), and RAM eviction costs
+// nothing durable — the bytes remain on disk. A restarted process reopens
+// the store and serves its entire history without re-simulating anything.
 type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -18,7 +27,12 @@ type Cache struct {
 	ll         *list.List // front = most recently used
 	items      map[string]*list.Element
 
+	// disk is the optional durable tier; set once via AttachStore before the
+	// cache is shared, then never mutated (reads need no extra locking).
+	disk *store.Store
+
 	hits, misses, evictions int64
+	diskHits, oversized     int64
 }
 
 type cacheEntry struct {
@@ -44,25 +58,56 @@ func NewCache(maxEntries int, maxBytes int64) *Cache {
 	}
 }
 
+// AttachStore installs the durable tier beneath the RAM LRU. Call it during
+// construction, before the cache is visible to other goroutines.
+func (c *Cache) AttachStore(st *store.Store) { c.disk = st }
+
+// Store returns the attached durable tier, or nil.
+func (c *Cache) Store() *store.Store { return c.disk }
+
 // Get returns the cached bytes for key, promoting the entry to most
 // recently used. The returned slice is shared — callers must not modify it.
+// On a RAM miss the durable tier (when attached) is consulted; a disk hit
+// counts as a hit, repopulates the RAM tier, and is tallied in DiskHits.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	if c.disk == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+
+	// Disk read outside the cache lock: verification and IO must not stall
+	// concurrent RAM hits. Two racing misses both read the same immutable
+	// bytes; the double insert below is idempotent.
+	val, ok := c.disk.Get(key)
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	c.diskHits++
+	c.insertLocked(key, val)
+	return val, true
 }
 
 // GetIfPresent is Get without the miss accounting: a hit counts (and
 // promotes recency) because it serves a submission, but a miss is silent.
 // The queue's second-chance lookup under its own lock uses it so the
-// double-check pattern doesn't count one logical lookup as two misses.
+// double-check pattern doesn't count one logical lookup as two misses. It
+// deliberately stays RAM-only: it runs under the queue lock, where disk IO
+// would stall admission, and the race it closes (publication between the
+// first lookup and admission) always lands in RAM first via Put.
 func (c *Cache) GetIfPresent(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -75,33 +120,70 @@ func (c *Cache) GetIfPresent(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Peek returns the cached bytes for key without promoting the entry or
+// Peek returns the cached bytes for key without promoting the RAM entry or
 // touching the hit/miss counters. Status reads (GET /v1/runs/{id}) use it so
 // the hit ratio measures admission-path deduplication, not client polling.
+// A RAM miss still falls through to the durable tier — a warm-started
+// worker must serve result reads for its whole history — and the disk hit
+// repopulates RAM so repeated reads (batch streaming) touch disk once.
 func (c *Cache) Peek(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	if el, ok := c.items[key]; ok {
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	if c.disk == nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+	val, ok := c.disk.Get(key)
 	if !ok {
 		return nil, false
 	}
-	return el.Value.(*cacheEntry).val, true
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+	return val, true
 }
 
-// Contains reports whether key is cached without promoting it or touching
-// the hit/miss counters — the probe used by status lookups.
+// Contains reports whether key is cached in either tier, without promoting
+// it or touching the hit/miss counters — the probe used by status lookups.
 func (c *Cache) Contains(key string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	_, ok := c.items[key]
-	return ok
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	return c.disk != nil && c.disk.Has(key)
 }
 
 // Put stores val under key. Re-putting an existing key refreshes recency;
-// by determinism the value can only ever be the same bytes.
+// by determinism the value can only ever be the same bytes. With a durable
+// tier attached the bytes are written through to disk (best-effort: a disk
+// write failure costs durability, not correctness, and is counted by the
+// store). An entry larger than the byte bound is rejected up front and
+// counted in Oversized — admitting it could never satisfy the bound and
+// used to evict the entire cache before keeping the oversized entry anyway.
+// The rejected bytes still write through to disk, whose bound is its own.
 func (c *Cache) Put(key string, val []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(val)) > c.maxBytes {
+		c.oversized++
+	} else {
+		c.insertLocked(key, val)
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		_ = disk.Put(key, val)
+	}
+}
+
+// insertLocked adds or refreshes a RAM entry and applies the LRU bounds.
+func (c *Cache) insertLocked(key string, val []byte) {
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.bytes += int64(len(val)) - int64(len(e.val))
@@ -128,11 +210,39 @@ func (c *Cache) evictOldest() {
 	c.evictions++
 }
 
+// Index snapshots the content addresses the cache can serve — the union of
+// the RAM tier and the durable tier — with payload sizes. This is the key
+// list behind GET /v1/store, which the cluster rebalancer diffs against
+// ring ownership to plan shard handoffs.
+func (c *Cache) Index() []StoreKey {
+	seen := make(map[string]bool)
+	var keys []StoreKey
+	if c.disk != nil {
+		for _, info := range c.disk.Index() {
+			seen[info.Key] = true
+			keys = append(keys, StoreKey{ID: info.Key, Size: info.Size})
+		}
+	}
+	c.mu.Lock()
+	for key, el := range c.items {
+		if !seen[key] {
+			keys = append(keys, StoreKey{ID: key, Size: int64(len(el.Value.(*cacheEntry).val))})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(keys, func(a, b int) bool { return keys[a].ID < keys[b].ID })
+	return keys
+}
+
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
-	Entries                 int
-	Bytes                   int64
+	// DiskHits counts Get hits served by the durable tier (a subset of Hits).
+	DiskHits int64
+	// Oversized counts Put rejections of entries larger than the byte bound.
+	Oversized int64
+	Entries   int
+	Bytes     int64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookup.
@@ -150,6 +260,7 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		DiskHits: c.diskHits, Oversized: c.oversized,
 		Entries: c.ll.Len(), Bytes: c.bytes,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/store"
 )
 
 func TestKeyVersionedAndStable(t *testing.T) {
@@ -71,11 +72,97 @@ func TestCacheByteBound(t *testing.T) {
 	if s.Entries != 4 || s.Evictions != 4 {
 		t.Fatalf("stats %+v", s)
 	}
-	// A single oversized value still caches (the bound keeps at least one
-	// entry so a huge result is not a permanent miss).
+	// An entry larger than the whole byte bound is rejected up front: it
+	// could never satisfy the bound, and admitting it used to evict every
+	// other entry first (the regression this pins). The rest of the cache
+	// must be untouched.
+	liveBefore := []string{"k4", "k5", "k6", "k7"}
 	c.Put("big", make([]byte, 128))
-	if !c.Contains("big") {
-		t.Fatal("oversized value not cached")
+	if c.Contains("big") {
+		t.Fatal("oversized value was cached")
+	}
+	for _, k := range liveBefore {
+		if !c.Contains(k) {
+			t.Fatalf("oversized Put evicted %s", k)
+		}
+	}
+	s = c.Stats()
+	if s.Oversized != 1 {
+		t.Fatalf("oversized counter = %d, want 1", s.Oversized)
+	}
+	if s.Evictions != 4 || s.Entries != 4 {
+		t.Fatalf("oversized Put disturbed the cache: %+v", s)
+	}
+}
+
+func TestCacheDiskFallthrough(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(4, 0)
+	c.AttachStore(st)
+	c.Put("v1-aaaa", []byte("result-a"))
+	c.Put("v1-bbbb", []byte("result-b"))
+
+	// A fresh cache over the same store directory — the restart shape —
+	// serves both entries from disk and repopulates RAM.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(4, 0)
+	c2.AttachStore(st2)
+	if !c2.Contains("v1-aaaa") {
+		t.Fatal("Contains misses the durable tier")
+	}
+	v, ok := c2.Get("v1-aaaa")
+	if !ok || string(v) != "result-a" {
+		t.Fatalf("disk fallthrough Get = %q, %v", v, ok)
+	}
+	s := c2.Stats()
+	if s.Hits != 1 || s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Now in RAM: the second Get is a pure RAM hit.
+	if _, ok := c2.Get("v1-aaaa"); !ok {
+		t.Fatal("repopulated entry missing")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Hits != 2 {
+		t.Fatalf("stats after RAM re-hit %+v", s)
+	}
+	// Peek falls through too, without touching hit/miss counters.
+	if v, ok := c2.Peek("v1-bbbb"); !ok || string(v) != "result-b" {
+		t.Fatalf("peek disk fallthrough = %q, %v", v, ok)
+	}
+	if s := c2.Stats(); s.Hits != 2 || s.Misses != 0 {
+		t.Fatalf("peek moved counters: %+v", s)
+	}
+	// Index unions both tiers.
+	idx := c2.Index()
+	if len(idx) != 2 {
+		t.Fatalf("index %v", idx)
+	}
+}
+
+func TestCacheRAMEvictionKeepsDurableCopy(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(2, 0)
+	c.AttachStore(st)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("v1-key%d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	// key0..key2 are RAM-evicted but still served, via disk.
+	v, ok := c.Get("v1-key0")
+	if !ok || string(v) != "val0" {
+		t.Fatalf("evicted entry lost its durable copy: %q %v", v, ok)
+	}
+	if s := c.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats %+v", s)
 	}
 }
 

@@ -168,6 +168,81 @@ func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
 	return &out, nil
 }
 
+// StoreIndex GETs the server's store key index (content address + payload
+// size per entry) — the input to shard-handoff planning.
+func (c *Client) StoreIndex(ctx context.Context) (*StoreIndexResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/store", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: store index: HTTP %d", resp.StatusCode)
+	}
+	var out StoreIndexResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding store index: %w", err)
+	}
+	return &out, nil
+}
+
+// StoreGet fetches one stored result's raw bytes from the server's shard.
+// A 404 (key not held there) is an error, like any other non-200.
+func (c *Client) StoreGet(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/store/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("serve: store get %s: HTTP %d", id, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store get %s: %w", id, err)
+	}
+	return data, nil
+}
+
+// StorePull POSTs a shard-handoff pull request: the server fetches the
+// given keys from the peer at req.From in the background. It returns the
+// accepted key count; 429 (pull queue full) is an error the rebalancer
+// retries on its next sweep.
+func (c *Client) StorePull(ctx context.Context, pullReq StorePullRequest) (int, error) {
+	body, err := json.Marshal(pullReq)
+	if err != nil {
+		return 0, fmt.Errorf("serve: encoding pull request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/store/pull", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("serve: store pull: HTTP %d", resp.StatusCode)
+	}
+	var out StorePullResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("serve: decoding pull response: %w", err)
+	}
+	return out.Accepted, nil
+}
+
 // RetryAfter extracts a response's Retry-After hint, defaulting when the
 // header is absent or malformed.
 func RetryAfter(h http.Header, fallback time.Duration) time.Duration {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/rtnet/wrtring/internal/httpx"
+	"github.com/rtnet/wrtring/internal/store"
 )
 
 // Config sizes a Server.
@@ -25,6 +26,15 @@ type Config struct {
 	// WorkerID names this instance when it serves as a cluster worker
 	// (cmd/wrtserved -id); surfaced on /healthz, /metrics and /v1/stats.
 	WorkerID string
+	// Store is the optional durable result tier beneath the RAM LRU
+	// (cmd/wrtserved -store-dir opens one). The cache writes results
+	// through to it and falls back to it on RAM misses, so a restarted
+	// worker serves its whole history without re-simulating; see
+	// internal/store.
+	Store *store.Store
+	// HandoffRate bounds background shard-handoff pulls in keys per second
+	// (<= 0: DefaultHandoffRate).
+	HandoffRate int
 	// MaxBatchPoints bounds one batch grid's expansion
 	// (<= 0: DefaultMaxBatchPoints).
 	MaxBatchPoints int64
@@ -64,6 +74,7 @@ type Server struct {
 	queue      *Queue
 	cache      *Cache
 	batches    *Batches
+	handoff    *puller
 	maxBatch   int
 	workerID   string
 	retryAfter time.Duration
@@ -79,9 +90,13 @@ func New(cfg Config) *Server {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
 	cache := NewCache(cfg.CacheEntries, cfg.CacheBytes)
+	if cfg.Store != nil {
+		cache.AttachStore(cfg.Store)
+	}
 	s := &Server{
 		queue:      NewQueue(cache, cfg.QueueCapacity, cfg.Workers),
 		cache:      cache,
+		handoff:    newPuller(cache, cfg.HandoffRate),
 		maxBatch:   cfg.MaxBatch,
 		workerID:   cfg.WorkerID,
 		retryAfter: cfg.RetryAfter,
@@ -108,6 +123,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mountStoreAPI()
 	MountBatchAPI(s.surface, s.batches, cfg.RetryAfter)
 	return s
 }
@@ -136,6 +152,9 @@ func (s *Server) AccessLog() *httpx.Ring { return s.surface.Log() }
 func (s *Server) Drain(timeout time.Duration) DrainReport {
 	report := s.queue.Drain(timeout)
 	s.batches.Drain(timeout)
+	// Stop the shard-handoff puller last: an abandoned pull is re-requested
+	// by the coordinator's next rebalance sweep, so nothing is lost.
+	s.handoff.stop()
 	return report
 }
 
@@ -177,9 +196,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	httpx.WriteJSON(w, http.StatusOK, ServiceStats{
+	st := ServiceStats{
 		Worker: s.workerID, Queue: s.queue.Stats(), Cache: s.cache.Stats(),
-	})
+		Handoff: s.handoff.stats(),
+	}
+	if disk := s.cache.Store(); disk != nil {
+		ds := disk.Stats()
+		st.Store = &ds
+	}
+	httpx.WriteJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -215,6 +240,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Metric("wrtserved_cache_entries", cs.Entries, "results currently cached")
 	m.Metric("wrtserved_cache_bytes", cs.Bytes, "bytes of cached result payload")
 	m.Metric("wrtserved_cache_hit_ratio", fmt.Sprintf("%.6f", cs.HitRatio()), "hits / (hits + misses)")
+	m.Metric("wrtserved_cache_oversized_total", cs.Oversized, "results rejected from RAM for exceeding the byte bound")
+	if disk := s.cache.Store(); disk != nil {
+		ds := disk.Stats()
+		m.Metric("wrtserved_store_hits_total", cs.DiskHits, "cache lookups served by the durable store")
+		m.Metric("wrtserved_store_entries", ds.Entries, "results in the durable store")
+		m.Metric("wrtserved_store_bytes", ds.Bytes, "disk bytes used by the durable store (payload + footers)")
+		m.Metric("wrtserved_store_puts_total", ds.Puts, "results written through to disk")
+		m.Metric("wrtserved_store_put_errors_total", ds.PutErrors, "failed durable writes (result stays RAM-only)")
+		m.Metric("wrtserved_store_evictions_total", ds.Evictions, "store entries evicted by the disk byte bound")
+		m.Metric("wrtserved_store_corruptions_total", ds.Corruptions, "store entries quarantined for failing validation")
+	}
+	hs := s.handoff.stats()
+	m.Metric("wrtserved_handoff_pulled_total", hs.Pulled, "shard-handoff keys pulled from peers")
+	m.Metric("wrtserved_handoff_skipped_total", hs.Skipped, "shard-handoff keys already present locally")
+	m.Metric("wrtserved_handoff_errors_total", hs.Errors, "shard-handoff pulls that failed")
+	m.Metric("wrtserved_handoff_bytes_total", hs.Bytes, "shard-handoff payload bytes pulled")
+	m.Metric("wrtserved_handoff_requests_total", hs.Requests, "accepted POST /v1/store/pull requests")
 	bsStats := s.batches.Stats()
 	m.Metric("wrtserved_batches_created_total", bsStats.Created, "batches accepted by POST /v1/batches")
 	m.Metric("wrtserved_batches_active", bsStats.Active, "retained batches still running")

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	wrtring "github.com/rtnet/wrtring"
+	"github.com/rtnet/wrtring/internal/store"
+)
+
+func newStoreServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, QueueCapacity: 32, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+// TestServiceWarmStart is the durable-tier acceptance scenario: a server
+// writes its results through to disk, a fresh server over the same directory
+// (the restart shape) serves the resubmitted batch entirely from the store —
+// zero new simulations — and the bytes are identical to the first pass.
+func TestServiceWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newStoreServer(t, dir)
+
+	batch := []wrtring.Scenario{fastScenario(1), fastScenario(2), fastScenario(3), fastScenario(4)}
+	code, resp := postRuns(t, ts.URL, batch)
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	first := make([]StatusResponse, len(batch))
+	for i, run := range resp.Runs {
+		first[i] = waitDone(t, ts.URL, run.ID)
+	}
+	srv.Drain(time.Minute)
+	ts.Close()
+
+	// Restart: fresh process state, same shard directory.
+	srv2, ts2 := newStoreServer(t, dir)
+	defer ts2.Close()
+	defer srv2.Drain(time.Minute)
+
+	code, resp2 := postRuns(t, ts2.URL, batch)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit after restart: HTTP %d", code)
+	}
+	for i, run := range resp2.Runs {
+		if run.Status != SubmitCached {
+			t.Fatalf("run %d after restart: status %q, want cached", i, run.Status)
+		}
+		if run.ID != resp.Runs[i].ID {
+			t.Fatalf("run %d changed content address across restart", i)
+		}
+		st := waitDone(t, ts2.URL, run.ID)
+		if !bytes.Equal(st.Result, first[i].Result) {
+			t.Fatalf("run %d: bytes differ across restart:\n%s\nvs\n%s", i, st.Result, first[i].Result)
+		}
+	}
+	if qs := srv2.Queue().Stats(); qs.Admitted != 0 {
+		t.Fatalf("restart admitted %d new jobs for a warm batch", qs.Admitted)
+	}
+	cs := srv2.Cache().Stats()
+	if cs.DiskHits != int64(len(batch)) {
+		t.Fatalf("disk hits %d, want %d (stats %+v)", cs.DiskHits, len(batch), cs)
+	}
+
+	m := scrapeMetrics(t, ts2.URL)
+	if m["wrtserved_store_hits_total"] != float64(len(batch)) {
+		t.Fatalf("store hit metric %v, want %d", m["wrtserved_store_hits_total"], len(batch))
+	}
+	if m["wrtserved_store_entries"] != float64(len(batch)) {
+		t.Fatalf("store entries metric %v, want %d", m["wrtserved_store_entries"], len(batch))
+	}
+}
+
+// TestStoreTransferEndpoints covers the shard-transfer surface directly: the
+// index lists what the worker holds, GET /v1/store/{id} serves raw bytes
+// byte-identically, and malformed requests are rejected.
+func TestStoreTransferEndpoints(t *testing.T) {
+	srv, ts := newStoreServer(t, t.TempDir())
+	defer ts.Close()
+	defer srv.Drain(time.Minute)
+
+	batch := []wrtring.Scenario{fastScenario(10), fastScenario(11)}
+	_, resp := postRuns(t, ts.URL, batch)
+	for _, run := range resp.Runs {
+		waitDone(t, ts.URL, run.ID)
+	}
+
+	client := NewClient(ts.URL)
+	idx, err := client.StoreIndex(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Keys) != len(batch) {
+		t.Fatalf("index has %d keys, want %d", len(idx.Keys), len(batch))
+	}
+	for _, k := range idx.Keys {
+		data, err := client.StoreGet(context.Background(), k.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(data)) != k.Size {
+			t.Fatalf("key %s: %d bytes served, index declared %d", k.ID, len(data), k.Size)
+		}
+		_, st := getStatus(t, ts.URL, k.ID)
+		if !bytes.Equal(data, st.Result) {
+			t.Fatalf("key %s: transfer bytes differ from the status result", k.ID)
+		}
+	}
+
+	// Unknown and malformed keys.
+	if _, err := client.StoreGet(context.Background(), "v1-"+strings.Repeat("0", 64)); err == nil {
+		t.Fatal("unknown key did not 404")
+	}
+	reqURL := ts.URL + "/v1/store/" + strings.Repeat("%2e", 3)
+	if hr, err := http.Get(reqURL); err == nil {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode == http.StatusOK {
+			t.Fatal("malformed key served")
+		}
+	}
+
+	// Pull request validation: relative From, empty keys, bad key.
+	badPulls := []string{
+		`{"from": "not-a-url", "keys": [{"id": "v1-abcd", "size": 1}]}`,
+		`{"from": "http://x", "keys": []}`,
+		`{"from": "http://x", "keys": [{"id": ".hidden", "size": 1}]}`,
+	}
+	for i, body := range badPulls {
+		hr, err := http.Post(ts.URL+"/v1/store/pull", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad pull %d: HTTP %d, want 400", i, hr.StatusCode)
+		}
+	}
+}
+
+// TestStorePullHandoff is the data plane of ring rebalancing: worker B pulls
+// worker A's shard over POST /v1/store/pull and then serves those keys from
+// its own store, byte-identically, with the conservation check enforced.
+func TestStorePullHandoff(t *testing.T) {
+	srvA, tsA := newStoreServer(t, t.TempDir())
+	defer tsA.Close()
+	defer srvA.Drain(time.Minute)
+	srvB, tsB := newStoreServer(t, t.TempDir())
+	defer tsB.Close()
+	defer srvB.Drain(time.Minute)
+
+	batch := []wrtring.Scenario{fastScenario(20), fastScenario(21), fastScenario(22)}
+	_, resp := postRuns(t, tsA.URL, batch)
+	want := map[string][]byte{}
+	for _, run := range resp.Runs {
+		st := waitDone(t, tsA.URL, run.ID)
+		want[run.ID] = st.Result
+	}
+
+	clientA := NewClient(tsA.URL)
+	clientB := NewClient(tsB.URL)
+	idx, err := clientA.StoreIndex(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := clientB.StorePull(context.Background(), StorePullRequest{From: tsA.URL, Keys: idx.Keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(idx.Keys) {
+		t.Fatalf("accepted %d, want %d", accepted, len(idx.Keys))
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hs := srvB.handoff.stats()
+		if hs.Pulled == int64(len(idx.Keys)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff never completed: %+v", hs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for id, body := range want {
+		data, err := clientB.StoreGet(context.Background(), id)
+		if err != nil {
+			t.Fatalf("pulled key %s not served by B: %v", id, err)
+		}
+		if !bytes.Equal(data, body) {
+			t.Fatalf("key %s: B serves different bytes than A", id)
+		}
+	}
+	// B's queue did no work for these: the keys arrived by transfer.
+	if qs := srvB.Queue().Stats(); qs.Admitted != 0 {
+		t.Fatalf("handoff admitted %d jobs on B", qs.Admitted)
+	}
+
+	// A second pull of the same keys is all skips (idempotent handoff).
+	if _, err := clientB.StorePull(context.Background(), StorePullRequest{From: tsA.URL, Keys: idx.Keys}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		hs := srvB.handoff.stats()
+		if hs.Skipped == int64(len(idx.Keys)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idempotent re-pull never skipped: %+v", srvB.handoff.stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Conservation check: a declared size that disagrees with the payload is
+	// dropped, not stored.
+	bogus := []StoreKey{{ID: idx.Keys[0].ID, Size: idx.Keys[0].Size + 1}}
+	srvC, tsC := newStoreServer(t, t.TempDir())
+	defer tsC.Close()
+	defer srvC.Drain(time.Minute)
+	if _, err := NewClient(tsC.URL).StorePull(context.Background(), StorePullRequest{From: tsA.URL, Keys: bogus}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		hs := srvC.handoff.stats()
+		if hs.Errors == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("size mismatch not counted: %+v", srvC.handoff.stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srvC.Cache().Contains(bogus[0].ID) {
+		t.Fatal("conservation-violating payload was stored")
+	}
+
+	// Handoff counters surface on /metrics.
+	m := scrapeMetrics(t, tsB.URL)
+	if m["wrtserved_handoff_pulled_total"] != float64(len(idx.Keys)) {
+		t.Fatalf("handoff pulled metric %v, want %d", m["wrtserved_handoff_pulled_total"], len(idx.Keys))
+	}
+	if m["wrtserved_handoff_skipped_total"] != float64(len(idx.Keys)) {
+		t.Fatalf("handoff skipped metric %v", m["wrtserved_handoff_skipped_total"])
+	}
+
+	var stats ServiceStats
+	hr, err := http.Get(tsB.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if err := json.NewDecoder(hr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil || stats.Store.Entries != len(idx.Keys) {
+		t.Fatalf("stats store snapshot %+v", stats.Store)
+	}
+	if stats.Handoff.Pulled != int64(len(idx.Keys)) {
+		t.Fatalf("stats handoff snapshot %+v", stats.Handoff)
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rtnet/wrtring/internal/httpx"
+	"github.com/rtnet/wrtring/internal/store"
+)
+
+// This file is the shard-transfer surface of the durable result store: the
+// endpoints one worker uses to read another worker's shard, and the
+// background puller that executes handoff requests. The cluster rebalancer
+// (internal/cluster) drives it: when ring membership changes, it diffs each
+// worker's key index against ring ownership and asks each new owner to pull
+// its key range from the prior owners — so cache affinity survives
+// membership churn, not just restarts.
+//
+//	GET  /v1/store        key index (content address + payload size)
+//	GET  /v1/store/{id}   one result's raw bytes (RAM or disk tier)
+//	POST /v1/store/pull   enqueue a background pull of keys from a peer
+//
+// Results are immutable by determinism, so transfers need no versioning, no
+// locking and no tombstones — a key is either present (with exactly one
+// possible value) or absent.
+
+// StoreKey identifies one stored result in transfer requests and indexes.
+type StoreKey struct {
+	ID string `json:"id"`
+	// Size is the expected payload size — the conservation check: a pulled
+	// payload whose length disagrees is dropped and counted as an error.
+	Size int64 `json:"size"`
+}
+
+// StoreIndexResponse is the GET /v1/store body.
+type StoreIndexResponse struct {
+	Keys []StoreKey `json:"keys"`
+}
+
+// StorePullRequest is the POST /v1/store/pull body: fetch each key from the
+// peer at From (a base URL speaking GET /v1/store/{id}).
+type StorePullRequest struct {
+	From string     `json:"from"`
+	Keys []StoreKey `json:"keys"`
+}
+
+// StorePullResponse is the POST /v1/store/pull body: how many keys were
+// accepted onto the background pull queue.
+type StorePullResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// HandoffStats counts the puller's work, surfaced on /v1/stats and /metrics.
+type HandoffStats struct {
+	// Pulled counts keys fetched from a peer and stored locally.
+	Pulled int64 `json:"pulled"`
+	// Skipped counts keys already present locally when the pull ran.
+	Skipped int64 `json:"skipped"`
+	// Errors counts failed fetches (transport, 404, size mismatch).
+	Errors int64 `json:"errors"`
+	// Bytes totals the payload bytes pulled.
+	Bytes int64 `json:"bytes"`
+	// Requests counts accepted pull requests.
+	Requests int64 `json:"requests"`
+}
+
+// DefaultHandoffRate bounds background pulls to this many keys per second
+// when the config passes no limit — brisk enough to rebalance a shard in
+// seconds, slow enough that handoff IO never crowds out live traffic.
+const DefaultHandoffRate = 256
+
+// pullTask is one accepted POST /v1/store/pull.
+type pullTask struct {
+	from string
+	keys []StoreKey
+}
+
+// puller executes shard-handoff pulls in the background, rate-limited.
+type puller struct {
+	cache  *Cache
+	rate   int // keys per second (<= 0: unlimited)
+	ch     chan pullTask
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	pulled, skipped, errors, bytes, requests atomic.Int64
+}
+
+// pullQueueCap bounds accepted-but-unexecuted pull tasks; past it the
+// endpoint answers 429 and the rebalancer retries on its next sweep.
+const pullQueueCap = 64
+
+func newPuller(cache *Cache, rate int) *puller {
+	if rate <= 0 {
+		rate = DefaultHandoffRate
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &puller{
+		cache:  cache,
+		rate:   rate,
+		ch:     make(chan pullTask, pullQueueCap),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// stop halts the puller; in-flight fetches are abandoned (the next
+// rebalance sweep re-requests whatever is still missing).
+func (p *puller) stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+func (p *puller) stats() HandoffStats {
+	return HandoffStats{
+		Pulled: p.pulled.Load(), Skipped: p.skipped.Load(),
+		Errors: p.errors.Load(), Bytes: p.bytes.Load(),
+		Requests: p.requests.Load(),
+	}
+}
+
+// enqueue accepts a pull task; false means the queue is full.
+func (p *puller) enqueue(t pullTask) bool {
+	select {
+	case p.ch <- t:
+		p.requests.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *puller) run() {
+	defer p.wg.Done()
+	interval := time.Duration(0)
+	if p.rate > 0 {
+		interval = time.Second / time.Duration(p.rate)
+	}
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case t := <-p.ch:
+			p.execute(t, interval)
+		}
+	}
+}
+
+// execute pulls one task's keys from the peer, pacing by interval.
+func (p *puller) execute(t pullTask, interval time.Duration) {
+	client := NewClient(t.from)
+	for _, k := range t.keys {
+		if p.ctx.Err() != nil {
+			return
+		}
+		if p.cache.Contains(k.ID) {
+			p.skipped.Add(1)
+			continue
+		}
+		data, err := client.StoreGet(p.ctx, k.ID)
+		switch {
+		case err != nil:
+			p.errors.Add(1)
+		case int64(len(data)) != k.Size:
+			// Conservation check: the peer's index promised k.Size bytes.
+			// A mismatch means a raced eviction-and-recompute cannot have
+			// happened (results are immutable) — this is a transfer fault,
+			// so drop the payload rather than store it.
+			p.errors.Add(1)
+		default:
+			p.cache.Put(k.ID, data)
+			p.pulled.Add(1)
+			p.bytes.Add(int64(len(data)))
+		}
+		if interval > 0 {
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(interval):
+			}
+		}
+	}
+}
+
+// mountStoreAPI registers the shard-transfer endpoints on the server's mux.
+func (s *Server) mountStoreAPI() {
+	mux := s.surface.Mux()
+	mux.HandleFunc("GET /v1/store", s.handleStoreIndex)
+	mux.HandleFunc("GET /v1/store/{id}", s.handleStoreGet)
+	mux.HandleFunc("POST /v1/store/pull", s.handleStorePull)
+}
+
+func (s *Server) handleStoreIndex(w http.ResponseWriter, _ *http.Request) {
+	keys := s.cache.Index()
+	if keys == nil {
+		keys = []StoreKey{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, StoreIndexResponse{Keys: keys})
+}
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidKey(id) {
+		httpx.Error(w, r, http.StatusBadRequest, "malformed store key")
+		return
+	}
+	val, ok := s.cache.Peek(id)
+	if !ok {
+		httpx.Error(w, r, http.StatusNotFound, "key not in this shard")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(val)))
+	_, _ = w.Write(val)
+}
+
+func (s *Server) handleStorePull(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req StorePullRequest
+	if err := dec.Decode(&req); err != nil {
+		httpx.Error(w, r, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if u, err := url.Parse(req.From); err != nil || u.Scheme == "" || u.Host == "" {
+		httpx.Error(w, r, http.StatusBadRequest, "from must be an absolute base URL")
+		return
+	}
+	if len(req.Keys) == 0 {
+		httpx.Error(w, r, http.StatusBadRequest, "no keys to pull")
+		return
+	}
+	for _, k := range req.Keys {
+		if !store.ValidKey(k.ID) {
+			httpx.Error(w, r, http.StatusBadRequest, fmt.Sprintf("malformed store key %q", k.ID))
+			return
+		}
+	}
+	if !s.handoff.enqueue(pullTask{from: req.From, keys: req.Keys}) {
+		SetRetryAfter(w.Header(), s.retryAfter)
+		httpx.Error(w, r, http.StatusTooManyRequests, "pull queue full; retry after the current handoff drains")
+		return
+	}
+	httpx.WriteJSON(w, http.StatusAccepted, StorePullResponse{Accepted: len(req.Keys)})
+}

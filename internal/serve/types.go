@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/rtnet/wrtring/internal/store"
 )
 
 // This file is the service's wire contract: the request/response bodies of
@@ -69,6 +71,10 @@ type ServiceStats struct {
 	Worker string     `json:"worker,omitempty"`
 	Queue  QueueStats `json:"queue"`
 	Cache  CacheStats `json:"cache"`
+	// Store is the durable-tier snapshot, present when a store is attached.
+	Store *store.Stats `json:"store,omitempty"`
+	// Handoff counts the worker's shard-handoff pull activity.
+	Handoff HandoffStats `json:"handoff"`
 }
 
 // DefaultRetryAfter is the backpressure hint stamped on 429/503 responses

@@ -1,0 +1,543 @@
+// Package store is a durable content-addressed result store: one file per
+// result under a fanout directory, keyed by the scenario content address
+// (serve.Key). Determinism makes every stored result an immutable truth, so
+// the store never invalidates — it only bounds disk usage by evicting the
+// least-recently-accessed entries.
+//
+// Durability contract:
+//
+//   - Writes are atomic: the payload and its footer go to a temp file in the
+//     destination directory, which is then renamed over the final name. A
+//     reader can never observe a half-written entry under its real key.
+//   - Every file ends in a fixed footer (SHA-256 of the payload, the payload
+//     length, a magic tag). Open cheaply validates the footer of every entry
+//     and quarantines anything malformed — a torn write from a crash, a
+//     truncated file, a stray temp file — instead of serving or deleting it.
+//   - Reads re-verify the checksum, so silent disk corruption surfaces as a
+//     quarantined file and a cache miss (the result is recomputed
+//     deterministically), never as wrong bytes.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// footer layout: sha256(payload) | uint64 LE payload length | magic.
+const (
+	magic = "WRSTORE1"
+	// footerSize = sha256.Size + 8-byte length + 8-byte magic (untyped so it
+	// mixes freely with int and int64 arithmetic).
+	footerSize = 32 + 8 + 8
+	// tmpPrefix marks in-progress writes; Open quarantines leftovers.
+	tmpPrefix = ".tmp-"
+	// quarantineDir collects files that failed validation.
+	quarantineDir = "quarantine"
+)
+
+// ErrInvalidKey rejects keys that could escape the store directory or
+// collide with the store's own bookkeeping names.
+var ErrInvalidKey = errors.New("store: invalid key")
+
+// ValidKey reports whether key is safe as a file name in the store: ASCII
+// letters, digits, '-', '_' and '.', not starting with a dot, and long
+// enough to fan out. Scenario content addresses ("v1-<64 hex>") satisfy it.
+func ValidKey(key string) bool {
+	if len(key) < 4 || len(key) > 255 || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fanout is the subdirectory for a key: its last two characters (uniformly
+// distributed hex for content addresses), keeping directory sizes flat.
+func fanout(key string) string { return key[len(key)-2:] }
+
+// renameFile commits a temp file to its final name. A variable so the
+// crash-safety tests can inject a failure between write and rename —
+// exactly the torn-write window a real crash leaves behind.
+var renameFile = os.Rename
+
+// Options sizes a Store.
+type Options struct {
+	// MaxBytes bounds total on-disk payload+footer bytes; exceeding it
+	// evicts least-recently-accessed entries (<= 0: unbounded).
+	MaxBytes int64
+	// NoSync skips fsync on writes. The atomic rename still guarantees a
+	// reader never sees a torn entry; a crash may lose the most recent
+	// results (they recompute deterministically). Tests use it for speed.
+	NoSync bool
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Entries int
+	Bytes   int64
+	// Hits / Misses count Get lookups.
+	Hits, Misses int64
+	// Puts counts new entries written; PutErrors counts failed writes
+	// (the entry is simply not durable; the RAM cache still serves it).
+	Puts, PutErrors int64
+	// Oversized counts payloads rejected because they alone exceed MaxBytes.
+	Oversized int64
+	// Evictions counts entries removed by the byte bound.
+	Evictions int64
+	// Corruptions counts checksum/footer failures detected at Open or Get;
+	// every one has a matching file in the quarantine directory.
+	Corruptions int64
+}
+
+// KeyInfo describes one stored entry.
+type KeyInfo struct {
+	Key string
+	// Size is the payload size in bytes (footer excluded).
+	Size int64
+	// ModTime approximates last access (updated best-effort on Get), the
+	// recency signal that survives restarts.
+	ModTime time.Time
+}
+
+type entry struct {
+	key  string
+	size int64 // payload + footer, for the disk-usage bound
+}
+
+// Store is a thread-safe durable result store rooted at one directory.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently accessed
+	items map[string]*list.Element
+	bytes int64
+
+	hits, misses, puts, putErrors int64
+	oversized, evictions          int64
+	corruptions                   int64
+}
+
+// Open creates (if needed) and indexes a store directory. Every entry's
+// footer is validated: malformed files and leftover temp files are moved to
+// the quarantine subdirectory, so a crash mid-write can never poison the
+// index. The surviving entries are ordered oldest-access-first for LRU
+// eviction, reconstructed from file modification times.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+
+	type indexed struct {
+		key     string
+		size    int64
+		modTime time.Time
+	}
+	var found []indexed
+	subdirs, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	for _, sub := range subdirs {
+		if !sub.IsDir() || sub.Name() == quarantineDir {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sub.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", sub.Name(), err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			name := f.Name()
+			path := filepath.Join(dir, sub.Name(), name)
+			if strings.HasPrefix(name, tmpPrefix) || !ValidKey(name) || fanout(name) != sub.Name() {
+				// A torn write (crash between create and rename) or a file
+				// that was never ours; quarantine rather than trust or delete.
+				s.quarantine(path)
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue // raced a concurrent delete; nothing to index
+			}
+			size, ok := checkFooter(path, info.Size())
+			if !ok {
+				s.quarantine(path)
+				s.corruptions++
+				continue
+			}
+			found = append(found, indexed{key: name, size: size, modTime: info.ModTime()})
+		}
+	}
+	// Oldest access first, so the eviction order survives the restart. Ties
+	// (same mtime granularity) break by key for determinism.
+	sort.Slice(found, func(a, b int) bool {
+		if !found[a].modTime.Equal(found[b].modTime) {
+			return found[a].modTime.Before(found[b].modTime)
+		}
+		return found[a].key < found[b].key
+	})
+	for _, f := range found {
+		e := &entry{key: f.key, size: f.size + int64(footerSize)}
+		s.items[f.key] = s.ll.PushFront(e)
+		s.bytes += e.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the final file path for a key.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, fanout(key), key)
+}
+
+// checkFooter cheaply validates a file's trailer (magic + recorded length
+// against the file size) without reading the payload. It returns the payload
+// size. Full checksum verification happens on Get and VerifyAll.
+func checkFooter(path string, fileSize int64) (payload int64, ok bool) {
+	if fileSize < footerSize {
+		return 0, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], fileSize-footerSize); err != nil {
+		return 0, false
+	}
+	if string(foot[sha256.Size+8:]) != magic {
+		return 0, false
+	}
+	length := int64(binary.LittleEndian.Uint64(foot[sha256.Size : sha256.Size+8]))
+	if length != fileSize-footerSize {
+		return 0, false
+	}
+	return length, true
+}
+
+// quarantine moves a suspect file into the quarantine subdirectory under a
+// collision-free name. Failures are swallowed: quarantining is best-effort
+// protection of evidence, never a reason to fail an Open or a Get.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	_ = os.Rename(path, dst)
+}
+
+// Put durably stores val under key. Re-putting an existing key only
+// refreshes its recency — by determinism the bytes can never differ. The
+// write is atomic (temp file + rename); on any error the entry is simply
+// not durable and the error is returned (callers treat durability as
+// best-effort: the result is still served from RAM and recomputable).
+func (s *Store) Put(key string, val []byte) error {
+	if !ValidKey(key) {
+		return ErrInvalidKey
+	}
+	stored := int64(len(val)) + footerSize
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return nil
+	}
+	if s.opts.MaxBytes > 0 && stored > s.opts.MaxBytes {
+		s.oversized++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %d-byte payload exceeds the %d-byte store bound", len(val), s.opts.MaxBytes)
+	}
+	s.mu.Unlock()
+
+	if err := s.writeFile(key, val); err != nil {
+		s.mu.Lock()
+		s.putErrors++
+		s.mu.Unlock()
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[key]; !ok {
+		// A concurrent Put of the same key wrote identical bytes to the same
+		// final name (rename is atomic, last writer wins); index it once.
+		s.items[key] = s.ll.PushFront(&entry{key: key, size: stored})
+		s.bytes += stored
+	}
+	s.puts++
+	s.evictLocked()
+	return nil
+}
+
+// writeFile writes payload+footer to a temp file and renames it into place.
+func (s *Store) writeFile(key string, val []byte) error {
+	dir := filepath.Join(s.dir, fanout(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	f, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(val); err != nil {
+		return cleanup(fmt.Errorf("store: writing %s: %w", key, err))
+	}
+	var foot [footerSize]byte
+	sum := sha256.Sum256(val)
+	copy(foot[:], sum[:])
+	binary.LittleEndian.PutUint64(foot[sha256.Size:], uint64(len(val)))
+	copy(foot[sha256.Size+8:], magic)
+	if _, err := f.Write(foot[:]); err != nil {
+		return cleanup(fmt.Errorf("store: writing %s footer: %w", key, err))
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return cleanup(fmt.Errorf("store: syncing %s: %w", key, err))
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing %s: %w", key, err)
+	}
+	if err := renameFile(tmp, s.path(key)); err != nil {
+		// The temp file stays behind — the next Open quarantines it.
+		return fmt.Errorf("store: committing %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get returns the stored payload for key, verifying its checksum. A file
+// that fails verification is quarantined and reported as a miss — the
+// caller recomputes the result deterministically. Access promotes the entry
+// in the LRU order and (best-effort) bumps the file's mtime so the recency
+// signal survives restarts.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+
+	val, err := s.readVerify(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if el, ok := s.items[key]; ok {
+			e := el.Value.(*entry)
+			s.ll.Remove(el)
+			delete(s.items, key)
+			s.bytes -= e.size
+		}
+		if !os.IsNotExist(err) {
+			s.corruptions++
+			s.quarantine(s.path(key))
+		}
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	return val, true
+}
+
+// errCorrupt marks a checksum/footer failure (vs. a vanished file).
+var errCorrupt = errors.New("store: corrupt entry")
+
+// readVerify reads a file and verifies footer and checksum.
+func (s *Store) readVerify(key string) ([]byte, error) {
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < footerSize {
+		return nil, errCorrupt
+	}
+	foot := data[len(data)-footerSize:]
+	payload := data[:len(data)-footerSize]
+	if string(foot[sha256.Size+8:]) != magic {
+		return nil, errCorrupt
+	}
+	if int64(binary.LittleEndian.Uint64(foot[sha256.Size:sha256.Size+8])) != int64(len(payload)) {
+		return nil, errCorrupt
+	}
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(foot[:sha256.Size]) {
+		return nil, errCorrupt
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort recency persistence
+	return payload, nil
+}
+
+// Has reports whether key is indexed, without touching counters or recency.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
+// Index snapshots the stored entries sorted by key. ModTime is only
+// populated when stat succeeds; Size is the payload size.
+func (s *Store) Index() []KeyInfo {
+	s.mu.Lock()
+	keys := make([]KeyInfo, 0, len(s.items))
+	for _, el := range s.items {
+		e := el.Value.(*entry)
+		keys = append(keys, KeyInfo{Key: e.key, Size: e.size - footerSize})
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Key < keys[b].Key })
+	for i := range keys {
+		if info, err := os.Stat(s.path(keys[i].Key)); err == nil {
+			keys[i].ModTime = info.ModTime()
+		}
+	}
+	return keys
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries: s.ll.Len(), Bytes: s.bytes,
+		Hits: s.hits, Misses: s.misses,
+		Puts: s.puts, PutErrors: s.putErrors, Oversized: s.oversized,
+		Evictions: s.evictions, Corruptions: s.corruptions,
+	}
+}
+
+// evictLocked removes least-recently-accessed entries (and their files)
+// until the byte bound is satisfied.
+func (s *Store) evictLocked() {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.opts.MaxBytes && s.ll.Len() > 0 {
+		el := s.ll.Back()
+		e := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		s.evictions++
+		_ = os.Remove(s.path(e.key))
+	}
+}
+
+// EvictTo evicts least-recently-accessed entries until total disk usage is
+// at most maxBytes (the wrtstore gc operation). It returns the number of
+// entries evicted and the bytes freed.
+func (s *Store) EvictTo(maxBytes int64) (evicted int, freed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.bytes > maxBytes && s.ll.Len() > 0 {
+		el := s.ll.Back()
+		e := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		s.evictions++
+		evicted++
+		freed += e.size
+		_ = os.Remove(s.path(e.key))
+	}
+	return evicted, freed
+}
+
+// VerifyAll reads and checksums every indexed entry — the full-shard fsck
+// behind `wrtstore verify`. It returns the keys that failed verification;
+// when quarantineBad is true each one is also moved to the quarantine
+// directory and dropped from the index.
+func (s *Store) VerifyAll(quarantineBad bool) []string {
+	var bad []string
+	for _, info := range s.Index() {
+		if _, err := s.readVerify(info.Key); err != nil {
+			bad = append(bad, info.Key)
+			if quarantineBad {
+				s.mu.Lock()
+				if el, ok := s.items[info.Key]; ok {
+					e := el.Value.(*entry)
+					s.ll.Remove(el)
+					delete(s.items, info.Key)
+					s.bytes -= e.size
+				}
+				s.corruptions++
+				s.quarantine(s.path(info.Key))
+				s.mu.Unlock()
+			}
+		}
+	}
+	return bad
+}
+
+// QuarantineCount counts files currently in the quarantine directory.
+func (s *Store) QuarantineCount() int {
+	files, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range files {
+		if !f.IsDir() {
+			n++
+		}
+	}
+	return n
+}

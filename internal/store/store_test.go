@@ -1,0 +1,389 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func key(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return fmt.Sprintf("v1-%x", sum)
+}
+
+func TestValidKey(t *testing.T) {
+	good := []string{key(0), "v1-abc123", "abcd", "a-b_c.d"}
+	for _, k := range good {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	bad := []string{"", "ab", ".tmp-xyz", "a/b/cd", "../../etc", "a b c d", "k\x00ey"}
+	for _, k := range bad {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"result":42}`)
+	if err := s.Put(key(1), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, val)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if !s.Has(key(1)) || s.Has(key(2)) {
+		t.Fatal("Has disagrees with contents")
+	}
+	// Re-put is a no-op (recency refresh), not a second write.
+	if err := s.Put(key(1), val); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("re-put changed stats: %+v", st)
+	}
+}
+
+func TestWarmStartReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := key(i)
+		vals[k] = []byte(fmt.Sprintf(`{"i":%d,"pad":"%080d"}`, i, i))
+		if err := s.Put(k, vals[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh Open over the same directory serves every entry byte-identically.
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 20 {
+		t.Fatalf("reopened store has %d entries, want 20", s2.Len())
+	}
+	for k, want := range vals {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("reopened Get(%s) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	if st := s2.Stats(); st.Corruptions != 0 {
+		t.Fatalf("clean reopen counted corruptions: %+v", st)
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("../escape", []byte("x")); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("Put with traversal key: %v", err)
+	}
+}
+
+func TestCorruptEntryQuarantinedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(3)
+	if err := s.Put(k, []byte(`{"payload":"original"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte behind the store's back (silent disk corruption).
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after corruption: %+v", st)
+	}
+	if s.QuarantineCount() != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", s.QuarantineCount())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file left in place")
+	}
+}
+
+func TestTruncatedEntryQuarantinedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := key(10), key(11)
+	if err := s.Put(good, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte(`{"doomed":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-payload: the torn-write shape a crashed non-atomic writer
+	// (or a filesystem that lost the tail) would leave.
+	if err := os.Truncate(s.path(bad), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Has(bad) {
+		t.Fatal("truncated entry indexed")
+	}
+	if !s2.Has(good) {
+		t.Fatal("good entry lost")
+	}
+	if st := s2.Stats(); st.Corruptions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s2.QuarantineCount() != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", s2.QuarantineCount())
+	}
+}
+
+// TestCrashMidWriteFaultInjectedRename simulates a worker killed mid-write:
+// the payload is fully written to the temp file but the process dies before
+// the rename commits it. The next Open must come up clean, quarantine the
+// partial file, and serve every previously completed result byte-identically.
+func TestCrashMidWriteFaultInjectedRename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		k := key(20 + i)
+		completed[k] = []byte(fmt.Sprintf(`{"completed":%d}`, i))
+		if err := s.Put(k, completed[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Inject the crash: rename fails, leaving the temp file behind exactly
+	// as a SIGKILL between write and rename would.
+	orig := renameFile
+	renameFile = func(oldpath, newpath string) error {
+		return errors.New("injected crash before rename")
+	}
+	victim := key(99)
+	err = s.Put(victim, []byte(`{"torn":true}`))
+	renameFile = orig
+	if err == nil {
+		t.Fatal("Put succeeded past the injected rename failure")
+	}
+	if s.Has(victim) {
+		t.Fatal("torn write indexed")
+	}
+	// The temp file must exist somewhere under the fanout dir.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "??", tmpPrefix+"*"))
+	if len(tmps) != 1 {
+		t.Fatalf("found %d temp files, want 1", len(tmps))
+	}
+
+	// "Restart": a fresh Open over the crashed directory.
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("store failed to open after crash: %v", err)
+	}
+	if s2.Has(victim) {
+		t.Fatal("torn write survived the restart")
+	}
+	tmps, _ = filepath.Glob(filepath.Join(dir, "??", tmpPrefix+"*"))
+	if len(tmps) != 0 {
+		t.Fatalf("%d temp files left after open, want 0 (quarantined)", len(tmps))
+	}
+	if s2.QuarantineCount() != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", s2.QuarantineCount())
+	}
+	if s2.Len() != len(completed) {
+		t.Fatalf("reopened store has %d entries, want %d", s2.Len(), len(completed))
+	}
+	for k, want := range completed {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("completed result %s not byte-identical after crash: %q, %v", k, got, ok)
+		}
+	}
+	if st := s2.Stats(); st.PutErrors != 0 && st.Corruptions != 0 {
+		t.Fatalf("fresh store inherited error counters: %+v", st)
+	}
+}
+
+func TestEvictionLRUByAccess(t *testing.T) {
+	// Each entry is 100 payload bytes + footer; bound to ~4 entries.
+	bound := int64(4 * (100 + footerSize))
+	s, err := Open(t.TempDir(), Options{MaxBytes: bound, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) []byte { return bytes.Repeat([]byte{byte('a' + i)}, 100) }
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(30+i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0 so it is the most recently accessed.
+	if _, ok := s.Get(key(30)); !ok {
+		t.Fatal("miss on live entry")
+	}
+	// A fifth entry must evict the least recently accessed (entry 1).
+	if err := s.Put(key(34), mk(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(key(31)) {
+		t.Fatal("LRU victim survived")
+	}
+	if !s.Has(key(30)) || !s.Has(key(32)) || !s.Has(key(33)) || !s.Has(key(34)) {
+		t.Fatal("wrong eviction victim")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Bytes > bound {
+		t.Fatalf("stats %+v (bound %d)", st, bound)
+	}
+	// The victim's file is gone from disk too.
+	if _, err := os.Stat(s.path(key(31))); !os.IsNotExist(err) {
+		t.Fatal("evicted file left on disk")
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxBytes: 128, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(40), make([]byte, 4096)); err == nil {
+		t.Fatal("oversized Put succeeded")
+	}
+	if st := s.Stats(); st.Oversized != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEvictTo(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(50+i), bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().Bytes
+	target := before / 2
+	evicted, freed := s.EvictTo(target)
+	if evicted == 0 || freed == 0 {
+		t.Fatalf("EvictTo removed nothing (evicted=%d freed=%d)", evicted, freed)
+	}
+	if st := s.Stats(); st.Bytes > target {
+		t.Fatalf("bytes %d still above target %d", st.Bytes, target)
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(60+i), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad := s.VerifyAll(false); len(bad) != 0 {
+		t.Fatalf("clean shard failed verify: %v", bad)
+	}
+	// Corrupt one payload in place, keeping the footer length valid so only
+	// the checksum pass can catch it.
+	victim := key(62)
+	data, err := os.ReadFile(s.path(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := os.WriteFile(s.path(victim), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := s.VerifyAll(true)
+	if len(bad) != 1 || bad[0] != victim {
+		t.Fatalf("verify found %v, want [%s]", bad, victim)
+	}
+	if s.Has(victim) {
+		t.Fatal("corrupt entry still indexed after quarantining verify")
+	}
+	if s.QuarantineCount() != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", s.QuarantineCount())
+	}
+}
+
+func TestIndexSortedWithSizes(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int64{}
+	for i := 0; i < 6; i++ {
+		k := key(70 + i)
+		v := bytes.Repeat([]byte("y"), 10+i)
+		sizes[k] = int64(len(v))
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := s.Index()
+	if len(idx) != 6 {
+		t.Fatalf("index has %d entries, want 6", len(idx))
+	}
+	for i, info := range idx {
+		if i > 0 && idx[i-1].Key >= info.Key {
+			t.Fatal("index not sorted by key")
+		}
+		if sizes[info.Key] != info.Size {
+			t.Fatalf("index size for %s = %d, want %d", info.Key, info.Size, sizes[info.Key])
+		}
+		if info.ModTime.IsZero() || time.Since(info.ModTime) > time.Hour {
+			t.Fatalf("index mtime for %s = %v", info.Key, info.ModTime)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# persist-smoke: end-to-end check of the durable result store through the
+# real binaries. Phase A restarts a warm fleet: a sweep grid is run once,
+# every process is killed, and the rebooted fleet (same -store-dir shards)
+# must serve the resubmitted grid byte-identically with zero new
+# simulations. Phase B changes ring membership: a third worker joins the
+# running cluster over POST /v1/workers, the rebalancer hands it its key
+# range, and the grid still resolves with zero new simulations. The shard
+# directories are then fsck'd with wrtstore. Used by `make persist-smoke`
+# and the non-blocking CI job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)
+STORES=$(mktemp -d)
+PIDS=()
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$BIN" "$STORES"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/wrtserved ./cmd/wrtcoord ./cmd/wrtsweep ./cmd/wrtstore
+
+COORD=127.0.0.1:18190
+PORTS=(18181 18182 18183)
+
+start_worker() { # id port
+  "$BIN/wrtserved" -addr "127.0.0.1:$2" -id "$1" -workers 2 \
+    -store-dir "$STORES/$1" -store-no-sync &
+  PIDS+=($!)
+}
+
+start_coord() { # extra worker flags...
+  "$BIN/wrtcoord" -addr "$COORD" -poll 5ms -health 250ms -rebalance 500ms "$@" &
+  PIDS+=($!)
+}
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "persist-smoke: $1 never became healthy" >&2
+  return 1
+}
+
+metric() { # url name
+  curl -sf "$1/metrics" | awk -v m="$2" '$1 == m {print $2}'
+}
+
+run_grid() {
+  "$BIN/wrtsweep" -over n -values 5,8,10 -protocols both -dur 5000 \
+    -server "http://$COORD"
+}
+
+stop_all() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  PIDS=()
+}
+
+# ---- Phase A: warm restart ------------------------------------------------
+
+start_worker w1 "${PORTS[0]}"
+start_worker w2 "${PORTS[1]}"
+start_coord -worker "w1=http://127.0.0.1:${PORTS[0]}" -worker "w2=http://127.0.0.1:${PORTS[1]}"
+wait_healthy "http://$COORD"
+
+first=$(run_grid)
+admitted=$(metric "http://$COORD" wrtcoord_fleet_admitted_total)
+if [ "$admitted" != "6" ]; then
+  echo "persist-smoke: cold pass admitted $admitted simulations, want 6" >&2
+  exit 1
+fi
+
+# Kill everything: worker RAM and coordinator memory are gone; only the
+# shard directories survive.
+stop_all
+
+start_worker w1 "${PORTS[0]}"
+start_worker w2 "${PORTS[1]}"
+start_coord -worker "w1=http://127.0.0.1:${PORTS[0]}" -worker "w2=http://127.0.0.1:${PORTS[1]}"
+wait_healthy "http://$COORD"
+
+second=$(run_grid)
+if [ "$first" != "$second" ]; then
+  echo "persist-smoke: CSV diverged across the fleet restart" >&2
+  exit 1
+fi
+admitted=$(metric "http://$COORD" wrtcoord_fleet_admitted_total)
+if [ "$admitted" != "0" ]; then
+  echo "persist-smoke: warm fleet ran $admitted new simulations, want 0" >&2
+  exit 1
+fi
+disk_hits=0
+for port in "${PORTS[0]}" "${PORTS[1]}"; do
+  h=$(metric "http://127.0.0.1:$port" wrtserved_store_hits_total)
+  disk_hits=$((disk_hits + h))
+done
+if [ "$disk_hits" != "6" ]; then
+  echo "persist-smoke: warm fleet served $disk_hits results from disk, want 6" >&2
+  exit 1
+fi
+echo "persist-smoke: phase A OK — fleet restarted warm, 0 new simulations, 6 disk hits"
+
+# ---- Phase B: membership change + shard handoff ---------------------------
+
+start_worker w3 "${PORTS[2]}"
+wait_healthy "http://127.0.0.1:${PORTS[2]}"
+curl -sf -X POST "http://$COORD/v1/workers" \
+  -d "{\"id\": \"w3\", \"url\": \"http://127.0.0.1:${PORTS[2]}\"}" >/dev/null
+
+# The rebalancer hands w3 the keys it now owns; wait until every planned
+# pull has landed (planned is stable once the first post-join sweep runs —
+# later sweeps see the keys already in place and plan nothing new).
+pulled=0
+planned=0
+for _ in $(seq 1 100); do
+  pulled=$(metric "http://127.0.0.1:${PORTS[2]}" wrtserved_handoff_pulled_total)
+  planned=$(metric "http://$COORD" wrtcoord_rebalance_keys_total)
+  if [ "${planned:-0}" -gt 0 ] && [ "${pulled:-0}" -ge "$planned" ]; then
+    break
+  fi
+  sleep 0.1
+done
+if [ "${planned:-0}" -eq 0 ] || [ "${pulled:-0}" -lt "$planned" ]; then
+  echo "persist-smoke: handoff stalled: w3 pulled ${pulled:-0} of ${planned:-0} planned keys" >&2
+  exit 1
+fi
+
+third=$(run_grid)
+if [ "$first" != "$third" ]; then
+  echo "persist-smoke: CSV diverged after the membership change" >&2
+  exit 1
+fi
+admitted=$(metric "http://$COORD" wrtcoord_fleet_admitted_total)
+if [ "$admitted" != "0" ]; then
+  echo "persist-smoke: post-handoff grid ran $admitted new simulations, want 0" >&2
+  exit 1
+fi
+echo "persist-smoke: phase B OK — w3 joined, pulled $pulled/$planned planned keys, 0 new simulations"
+
+# ---- fsck the shards offline ----------------------------------------------
+
+stop_all
+entries=0
+for id in w1 w2; do
+  "$BIN/wrtstore" verify -dir "$STORES/$id" >/dev/null
+  n=$("$BIN/wrtstore" stat -dir "$STORES/$id" | awk '/^entries:/ {print $2}')
+  entries=$((entries + n))
+done
+"$BIN/wrtstore" verify -dir "$STORES/w3" >/dev/null
+w3_entries=$("$BIN/wrtstore" stat -dir "$STORES/w3" | awk '/^entries:/ {print $2}')
+# Conservation: the original owners keep all 6 results (handoff copies, it
+# does not move), and w3 holds exactly the keys the rebalancer planned.
+if [ "$entries" != "6" ] || [ "$w3_entries" != "$planned" ]; then
+  echo "persist-smoke: shards hold $entries+$w3_entries entries, want 6+$planned" >&2
+  exit 1
+fi
+
+echo "persist-smoke: OK — warm restart and ring handoff both served from the durable store"
